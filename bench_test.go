@@ -1,0 +1,316 @@
+package gem_test
+
+// One benchmark per table/figure of the paper (E1–E8f drive the same
+// harnesses as cmd/gem-bench, at reduced windows so `go test -bench=.`
+// finishes in minutes), plus micro-benchmarks of the hot paths: wire
+// codecs, the switch pipeline, the RNIC engine, and the primitives.
+//
+// The Ex benchmarks report the reproduced quantities via b.ReportMetric —
+// run with -benchtime=1x for a one-shot regeneration of every number.
+
+import (
+	"testing"
+
+	"gem"
+	"gem/internal/harness"
+	"gem/internal/rnic"
+	"gem/internal/sim"
+	"gem/internal/sketch"
+	"gem/internal/wire"
+)
+
+// ---- experiment benchmarks ----
+
+func BenchmarkE1PacketBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := harness.DefaultE1Config()
+		cfg.Window = 1 * sim.Millisecond
+		cfg.SweepStart, cfg.SweepStep = 33, 1
+		cfg.DrainFrames = 2000
+		_, res := harness.RunE1(cfg)
+		b.ReportMetric(res.StoreMaxGbps, "store-Gbps")
+		b.ReportMetric(res.ForwardGbps, "forward-Gbps")
+		b.ReportMetric(res.NativeWriteGbps, "native-write-Gbps")
+	}
+}
+
+func BenchmarkE2LookupLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := harness.DefaultE2Config()
+		cfg.Rounds = 15
+		_, points := harness.RunE2(cfg)
+		b.ReportMetric(points[0].ExtraLatencyUs, "extra-us-64B")
+		b.ReportMetric(points[len(points)-1].ExtraLatencyUs, "extra-us-1024B")
+	}
+}
+
+func BenchmarkE3StateStore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := harness.DefaultE3Config()
+		cfg.Sizes = []int{64, 1024}
+		cfg.Window = 1 * sim.Millisecond
+		_, points := harness.RunE3(cfg)
+		b.ReportMetric(points[0].FAALinkGbps, "faa-Gbps")
+	}
+}
+
+func BenchmarkE4Incast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := harness.DefaultE4Config()
+		cfg.BurstMBs = []int{25}
+		cfg.RegionMB = 32
+		_, points := harness.RunE4(cfg)
+		b.ReportMetric(points[0].BaselineLossRate*100, "baseline-loss-%")
+		b.ReportMetric(points[0].PrimitiveLossRate*100, "primitive-loss-%")
+	}
+}
+
+func BenchmarkE5BareMetal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := harness.DefaultE5Config()
+		cfg.Mappings, cfg.Packets, cfg.CacheEntries = 50_000, 10_000, 4096
+		_, res := harness.RunE5(cfg)
+		b.ReportMetric(res.PrimitiveP99Us, "primitive-p99-us")
+		b.ReportMetric(res.BaselineP99Us, "baseline-p99-us")
+	}
+}
+
+func BenchmarkE6Telemetry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := harness.DefaultE6Config()
+		cfg.Packets = 15_000
+		_, res := harness.RunE6(cfg)
+		b.ReportMetric(res.Precision*100, "precision-%")
+		b.ReportMetric(res.Recall*100, "recall-%")
+	}
+}
+
+func BenchmarkE7HeaderOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res := harness.RunE7(harness.DefaultE7Config())
+		b.ReportMetric(float64(res.V2Transport), "v2-bytes")
+		b.ReportMetric(float64(res.FAAExt), "faa-ext-bytes")
+	}
+}
+
+func BenchmarkE8aBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := harness.DefaultE8aConfig()
+		cfg.Window = 1 * sim.Millisecond
+		cfg.Batches = []uint64{1, 128}
+		_, points := harness.RunE8a(cfg)
+		b.ReportMetric(float64(points[0].FAAIssued), "faa-batch1")
+		b.ReportMetric(float64(points[1].FAAIssued), "faa-batch128")
+	}
+}
+
+func BenchmarkE8bRecirculation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := harness.E8bConfig{Sizes: []int{1500}, Packets: 100}
+		_, points := harness.RunE8b(cfg)
+		b.ReportMetric(points[0].DepositLinkBytes, "deposit-B/op")
+		b.ReportMetric(points[0].RecircLinkBytes, "recirc-B/op")
+	}
+}
+
+func BenchmarkE8cReliability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := harness.E8cConfig{LossRates: []float64{0.02}, Updates: 500}
+		_, points := harness.RunE8c(cfg)
+		b.ReportMetric(points[0].UnreliableError*100, "unreliable-err-%")
+		b.ReportMetric(points[0].ReliableError*100, "reliable-err-%")
+	}
+}
+
+// ---- micro-benchmarks: the hot paths under everything above ----
+
+func BenchmarkWireEncodeWriteOnly(b *testing.B) {
+	p := &wire.RoCEParams{DestQP: 1}
+	payload := make([]byte, 1500)
+	b.SetBytes(1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.PSN = uint32(i)
+		_ = wire.BuildWriteOnly(p, 0x1000, 0x42, payload)
+	}
+}
+
+func BenchmarkWireEncodeFetchAdd(b *testing.B) {
+	p := &wire.RoCEParams{DestQP: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.PSN = uint32(i)
+		_ = wire.BuildFetchAdd(p, 0x1000, 0x42, 1)
+	}
+}
+
+func BenchmarkWireDecodeRoCE(b *testing.B) {
+	frame := wire.BuildWriteOnly(&wire.RoCEParams{DestQP: 1}, 0, 1, make([]byte, 1500))
+	var pkt wire.Packet
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := pkt.DecodeFromBytes(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireDecodePlainUDP(b *testing.B) {
+	frame := wire.BuildDataFrame(wire.MACFromUint64(1), wire.MACFromUint64(2),
+		wire.IP4{1, 1, 1, 1}, wire.IP4{2, 2, 2, 2}, 1, 2, 1500, nil)
+	var pkt wire.Packet
+	b.SetBytes(1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := pkt.DecodeFromBytes(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlowKeyHash(b *testing.B) {
+	k := wire.FlowKey{SrcIP: wire.IP4{10, 0, 0, 1}, DstIP: wire.IP4{10, 0, 0, 2},
+		Protocol: 17, SrcPort: 1234, DstPort: 80}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.SrcPort = uint16(i)
+		_ = k.Hash()
+	}
+}
+
+func BenchmarkSwitchL2Forwarding(b *testing.B) {
+	// Simulated packets per wall-clock second through the full stack:
+	// link → parse → pipeline → egress queue → link.
+	tb, err := gem.New(gem.Options{Seed: 1, Hosts: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb.SetPipeline(func(ctx *gem.Context) {
+		if ctx.Pkt == nil {
+			ctx.Drop()
+			return
+		}
+		ctx.Emit(1-ctx.InPort, ctx.Frame)
+	})
+	frame := tb.DataFrame(0, 1, 1500, 1, 2)
+	b.SetBytes(1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.SendFrame(0, append([]byte(nil), frame...))
+		if i%1024 == 1023 {
+			tb.Run()
+		}
+	}
+	tb.Run()
+}
+
+func BenchmarkNICWritePath(b *testing.B) {
+	// End-to-end simulated WRITEs through the responder engine.
+	tb, err := gem.New(gem.Options{Seed: 1, Hosts: 1, MemoryServers: 1,
+		NIC: rnic.Config{MTU: 4096}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := tb.Establish(0, gem.ChannelSpec{RegionSize: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb.SetPipeline(func(ctx *gem.Context) { ctx.Drop() })
+	payload := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Write((i%512)*1024, payload)
+		if i%256 == 255 {
+			tb.Run()
+		}
+	}
+	tb.Run()
+}
+
+func BenchmarkStateStoreUpdate(b *testing.B) {
+	tb, err := gem.New(gem.Options{Seed: 1, Hosts: 1, MemoryServers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := tb.Establish(0, gem.ChannelSpec{RegionSize: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ss, err := gem.NewStateStore(ch, gem.StateStoreConfig{Counters: 65536})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb.Dispatcher.Register(ch, ss)
+	tb.SetPipeline(func(ctx *gem.Context) {
+		if !tb.Dispatcher.Dispatch(ctx) {
+			ctx.Drop()
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss.Update(i%65536, 1)
+		if i%1024 == 1023 {
+			tb.Run()
+		}
+	}
+	tb.Run()
+}
+
+func BenchmarkSketchPositions(b *testing.B) {
+	cs := sketch.NewCountSketch(5, 8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = cs.Positions(uint64(i))
+	}
+}
+
+func BenchmarkSimEngine(b *testing.B) {
+	// Raw event throughput of the simulation core.
+	e := sim.NewEngine(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	count := 0
+	var fn func()
+	fn = func() {
+		count++
+		if count < b.N {
+			e.Schedule(1, fn)
+		}
+	}
+	e.Schedule(1, fn)
+	e.Run()
+}
+
+func BenchmarkE8dBandwidthCap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := harness.DefaultE8dConfig()
+		cfg.Window = 1 * sim.Millisecond
+		cfg.CapsGbps = []float64{0, 1}
+		_, points := harness.RunE8d(cfg)
+		b.ReportMetric(points[0].LinkGbps, "uncapped-Gbps")
+		b.ReportMetric(points[1].LinkGbps, "capped-Gbps")
+	}
+}
+
+func BenchmarkE8ePriority(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := harness.DefaultE8eConfig()
+		cfg.Window = 4 * sim.Millisecond
+		_, points := harness.RunE8e(cfg)
+		b.ReportMetric(float64(points[0].FAAIssued), "faa-fifo")
+		b.ReportMetric(float64(points[1].FAAIssued), "faa-priority")
+	}
+}
+
+func BenchmarkE8fFailover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := harness.DefaultE8fConfig()
+		cfg.Window = 6 * sim.Millisecond
+		cfg.CrashAt = 2 * sim.Millisecond
+		_, res := harness.RunE8f(cfg)
+		b.ReportMetric(res.DetectionUs, "detect-us")
+		b.ReportMetric(float64(res.LostInFlight), "lost-updates")
+	}
+}

@@ -1,0 +1,168 @@
+// Command gem-bench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	gem-bench            # run everything at full settings
+//	gem-bench -run E2,E3 # run a subset
+//	gem-bench -quick     # reduced settings (seconds, for smoke tests)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gem/internal/harness"
+	"gem/internal/sim"
+)
+
+func main() {
+	runList := flag.String("run", "all",
+		"comma-separated experiment ids (E1..E7, E8a..E8f) or 'all'")
+	quick := flag.Bool("quick", false, "reduced parameters for a fast smoke run")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *runList == "all" {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8A", "E8B", "E8C", "E8D", "E8E", "E8F"} {
+			want[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	type experiment struct {
+		id  string
+		run func() *harness.Table
+	}
+	experiments := []experiment{
+		{"E1", func() *harness.Table {
+			cfg := harness.DefaultE1Config()
+			if *quick {
+				cfg.Window = 1 * sim.Millisecond
+				cfg.SweepStart, cfg.SweepStep = 33, 1
+				cfg.DrainFrames = 800
+			}
+			t, _ := harness.RunE1(cfg)
+			return t
+		}},
+		{"E2", func() *harness.Table {
+			cfg := harness.DefaultE2Config()
+			if *quick {
+				cfg.Rounds = 15
+			}
+			t, _ := harness.RunE2(cfg)
+			return t
+		}},
+		{"E3", func() *harness.Table {
+			cfg := harness.DefaultE3Config()
+			if *quick {
+				cfg.Window = 1 * sim.Millisecond
+				cfg.Sizes = []int{64, 256, 1024}
+			}
+			t, _ := harness.RunE3(cfg)
+			return t
+		}},
+		{"E4", func() *harness.Table {
+			cfg := harness.DefaultE4Config()
+			if *quick {
+				cfg.BurstMBs = []int{12, 25}
+			}
+			t, _ := harness.RunE4(cfg)
+			return t
+		}},
+		{"E5", func() *harness.Table {
+			cfg := harness.DefaultE5Config()
+			if *quick {
+				cfg.Mappings, cfg.Packets = 50_000, 15_000
+				cfg.CacheEntries = 4096
+			}
+			t, _ := harness.RunE5(cfg)
+			return t
+		}},
+		{"E6", func() *harness.Table {
+			cfg := harness.DefaultE6Config()
+			if *quick {
+				cfg.Packets = 15_000
+			}
+			t, _ := harness.RunE6(cfg)
+			return t
+		}},
+		{"E7", func() *harness.Table {
+			t, _ := harness.RunE7(harness.DefaultE7Config())
+			return t
+		}},
+		{"E8A", func() *harness.Table {
+			cfg := harness.DefaultE8aConfig()
+			if *quick {
+				cfg.Window = 1 * sim.Millisecond
+				cfg.Batches = []uint64{1, 32, 512}
+			}
+			t, _ := harness.RunE8a(cfg)
+			return t
+		}},
+		{"E8B", func() *harness.Table {
+			cfg := harness.DefaultE8bConfig()
+			if *quick {
+				cfg.Packets = 100
+			}
+			t, _ := harness.RunE8b(cfg)
+			return t
+		}},
+		{"E8C", func() *harness.Table {
+			cfg := harness.DefaultE8cConfig()
+			if *quick {
+				cfg.Updates = 500
+			}
+			t, _ := harness.RunE8c(cfg)
+			return t
+		}},
+		{"E8D", func() *harness.Table {
+			cfg := harness.DefaultE8dConfig()
+			if *quick {
+				cfg.Window = 1 * sim.Millisecond
+				cfg.CapsGbps = []float64{0, 1}
+			}
+			t, _ := harness.RunE8d(cfg)
+			return t
+		}},
+		{"E8E", func() *harness.Table {
+			cfg := harness.DefaultE8eConfig()
+			if *quick {
+				cfg.Window = 4 * sim.Millisecond
+			}
+			t, _ := harness.RunE8e(cfg)
+			return t
+		}},
+		{"E8F", func() *harness.Table {
+			cfg := harness.DefaultE8fConfig()
+			if *quick {
+				cfg.Window = 6 * sim.Millisecond
+				cfg.CrashAt = 2 * sim.Millisecond
+			}
+			t, _ := harness.RunE8f(cfg)
+			return t
+		}},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if !want[e.id] && !want[strings.ToUpper(e.id)] {
+			continue
+		}
+		start := time.Now()
+		table := e.run()
+		table.Fprint(os.Stdout)
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched -run=%q\n", *runList)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+
+	"gem/internal/sim"
+	"gem/internal/switchsim"
+	"gem/internal/wire"
+)
+
+// Failover addresses the last §7 open problem — "improve the robustness of
+// the architecture by handling switch and server failures" — for the
+// memory-server side: the switch control plane provisions channels to a
+// primary and one or more standby servers, the data plane heartbeats the
+// active one with tiny RDMA READs, and when heartbeats go unanswered the
+// primitive is rebound to the next standby. State stored only on the dead
+// server is lost (remote memory is a performance tier, not durable
+// storage); the accounting below makes that loss measurable.
+type Failover struct {
+	sw       *switchsim.Switch
+	channels []*Channel
+	active   int
+
+	// HeartbeatInterval paces the liveness probes (default 100 µs).
+	HeartbeatInterval sim.Duration
+	// MissThreshold consecutive unanswered heartbeats declare the server
+	// dead (default 3).
+	MissThreshold int
+
+	// Inner receives every non-heartbeat response for the active channel.
+	Inner ResponseHandler
+	// OnFailover is invoked after the switchover with the old and new
+	// channels; primitives rebind here (e.g. StateStore.Rebind).
+	OnFailover func(old, new *Channel)
+
+	hbPSNs  map[uint32]bool // outstanding heartbeat READ PSNs (active channel)
+	misses  int
+	started bool
+
+	// Stats.
+	HeartbeatsSent  int64
+	HeartbeatsAcked int64
+	Failovers       int64
+	// LastDetection is the time between the first missed heartbeat of the
+	// failure and the switchover.
+	LastDetection sim.Duration
+	firstMissAt   sim.Time
+}
+
+// NewFailover builds a failover group over channels (primary first). All
+// channels should have a readable word at offset 0.
+func NewFailover(channels []*Channel, inner ResponseHandler) (*Failover, error) {
+	if len(channels) < 2 {
+		return nil, fmt.Errorf("core: failover needs a primary and at least one standby")
+	}
+	return &Failover{
+		sw:                channels[0].sw,
+		channels:          channels,
+		HeartbeatInterval: 100 * sim.Microsecond,
+		MissThreshold:     3,
+		Inner:             inner,
+		hbPSNs:            make(map[uint32]bool),
+	}, nil
+}
+
+// Active returns the channel currently in use.
+func (f *Failover) Active() *Channel { return f.channels[f.active] }
+
+// Standbys returns how many unused channels remain.
+func (f *Failover) Standbys() int { return len(f.channels) - 1 - f.active }
+
+// RegisterWith binds every member channel's responses to the failover
+// group (heartbeat filtering happens here; the rest reaches Inner).
+func (f *Failover) RegisterWith(d *Dispatcher) {
+	for _, ch := range f.channels {
+		d.Register(ch, f)
+	}
+}
+
+// Start begins heartbeating. Call once after registration.
+func (f *Failover) Start() {
+	if f.started {
+		return
+	}
+	f.started = true
+	f.sw.Engine.Ticker(f.HeartbeatInterval, func() bool {
+		f.tick()
+		return true
+	})
+}
+
+func (f *Failover) tick() {
+	// Unanswered probe from last tick = a miss.
+	if len(f.hbPSNs) > 0 {
+		if f.misses == 0 {
+			f.firstMissAt = f.sw.Engine.Now().Add(-f.HeartbeatInterval)
+		}
+		f.misses++
+		f.hbPSNs = make(map[uint32]bool)
+		if f.misses >= f.MissThreshold {
+			f.failover()
+			return
+		}
+	} else {
+		f.misses = 0
+	}
+	ch := f.Active()
+	psn := ch.PSN()
+	if ch.Read(0, 8, 1) {
+		f.hbPSNs[psn] = true
+		f.HeartbeatsSent++
+	}
+}
+
+func (f *Failover) failover() {
+	if f.active+1 >= len(f.channels) {
+		return // no standby left; keep probing the dead primary
+	}
+	old := f.Active()
+	f.active++
+	f.misses = 0
+	f.hbPSNs = make(map[uint32]bool)
+	f.Failovers++
+	f.LastDetection = f.sw.Engine.Now().Sub(f.firstMissAt)
+	if f.OnFailover != nil {
+		f.OnFailover(old, f.Active())
+	}
+}
+
+// HandleResponse filters heartbeat READ responses and forwards everything
+// else to Inner.
+func (f *Failover) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) {
+	if pkt.BTH.Opcode.IsReadResponse() && f.hbPSNs[pkt.BTH.PSN] &&
+		pkt.BTH.DestQP == f.Active().ID {
+		delete(f.hbPSNs, pkt.BTH.PSN)
+		f.HeartbeatsAcked++
+		f.misses = 0
+		ctx.Drop()
+		return
+	}
+	if f.Inner != nil {
+		f.Inner.HandleResponse(ctx, pkt)
+		return
+	}
+	ctx.Drop()
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"gem/internal/rnic"
+	"gem/internal/sim"
+	"gem/internal/switchsim"
+)
+
+// failoverBed: two memory servers, a state store on the primary, a
+// failover group across both.
+func failoverBed(t *testing.T) (*bed, *StateStore, *Failover) {
+	t.Helper()
+	b := newBedN(t, 1, 2, switchsim.Config{}, rnic.Config{})
+	primary := b.establishOn(t, 0, 1<<16, rnic.PSNTolerant, false)
+	standby := b.establishOn(t, 1, 1<<16, rnic.PSNTolerant, false)
+	ss, err := NewStateStore(primary, StateStoreConfig{Counters: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, err := NewFailover([]*Channel{primary, standby}, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo.OnFailover = func(_, newCh *Channel) { ss.Rebind(newCh) }
+	fo.RegisterWith(b.disp)
+	b.sw.Pipeline = switchsim.PipelineFunc(func(ctx *switchsim.Context) {
+		if !b.disp.Dispatch(ctx) {
+			ctx.Drop()
+		}
+	})
+	fo.Start()
+	return b, ss, fo
+}
+
+func TestFailoverNeedsStandby(t *testing.T) {
+	b := newBed(t, 1, switchsim.Config{}, rnic.Config{})
+	ch := b.establish(t, 1024, rnic.PSNTolerant, false)
+	if _, err := NewFailover([]*Channel{ch}, nil); err == nil {
+		t.Fatal("single-channel failover accepted")
+	}
+}
+
+func TestHeartbeatsFlowWhenHealthy(t *testing.T) {
+	b, _, fo := failoverBed(t)
+	b.net.Engine.RunFor(2 * sim.Millisecond)
+	if fo.HeartbeatsSent < 15 {
+		t.Fatalf("heartbeats sent = %d", fo.HeartbeatsSent)
+	}
+	if fo.HeartbeatsAcked < fo.HeartbeatsSent-2 {
+		t.Fatalf("acked %d of %d heartbeats", fo.HeartbeatsAcked, fo.HeartbeatsSent)
+	}
+	if fo.Failovers != 0 {
+		t.Fatal("spurious failover on a healthy server")
+	}
+}
+
+func TestFailoverOnServerCrash(t *testing.T) {
+	b, ss, fo := failoverBed(t)
+	// Healthy phase: counts land on the primary.
+	for i := 0; i < 50; i++ {
+		ss.Update(3, 1)
+	}
+	b.net.Engine.RunFor(1 * sim.Millisecond)
+	vPrimary, _ := b.memNICs[0].ReadCounter(fo.channels[0].RKey, fo.channels[0].Base+3*8)
+	if vPrimary != 50 {
+		t.Fatalf("primary counter = %d, want 50", vPrimary)
+	}
+
+	// Crash the primary.
+	b.memNICs[0].Fail()
+	b.net.Engine.RunFor(2 * sim.Millisecond)
+	if fo.Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", fo.Failovers)
+	}
+	if fo.Active() != fo.channels[1] {
+		t.Fatal("active channel not the standby")
+	}
+	// Detection within (threshold+1) heartbeat intervals.
+	maxDetect := sim.Duration(fo.MissThreshold+1) * fo.HeartbeatInterval
+	if fo.LastDetection > maxDetect {
+		t.Fatalf("detection took %v, budget %v", fo.LastDetection, maxDetect)
+	}
+
+	// Post-failover: updates land on the standby.
+	for i := 0; i < 30; i++ {
+		ss.Update(3, 1)
+	}
+	b.net.Engine.RunFor(1 * sim.Millisecond)
+	vStandby, _ := b.memNICs[1].ReadCounter(fo.channels[1].RKey, fo.channels[1].Base+3*8)
+	if vStandby != 30 {
+		t.Fatalf("standby counter = %d, want 30", vStandby)
+	}
+	if b.memHosts[0].CPUOps != 0 || b.memHosts[1].CPUOps != 0 {
+		t.Fatal("failover burned server CPU")
+	}
+}
+
+func TestFailoverPreservesPendingUpdates(t *testing.T) {
+	b, ss, fo := failoverBed(t)
+	b.memNICs[0].Fail()
+	// Updates during the blackout accumulate locally (outstanding slots
+	// reap via timeout) and must flush to the standby after failover.
+	for i := 0; i < 100; i++ {
+		ss.Update(7, 1)
+	}
+	b.net.Engine.RunFor(3 * sim.Millisecond)
+	if fo.Failovers != 1 {
+		t.Fatalf("failovers = %d", fo.Failovers)
+	}
+	ss.Update(7, 1) // nudge a flush after rebinding
+	b.net.Engine.RunFor(2 * sim.Millisecond)
+	vStandby, _ := b.memNICs[1].ReadCounter(fo.channels[1].RKey, fo.channels[1].Base+7*8)
+	lostInFlight := uint64(101) - vStandby - ss.PendingTotal()
+	// Only updates that were already in flight as FAAs at crash time may
+	// be lost; everything accumulated locally must survive the failover.
+	if lostInFlight > uint64(ss.Config().MaxOutstanding)+uint64(ss.Stats.TimedOut) {
+		t.Fatalf("lost %d updates across failover (standby=%d pending=%d)",
+			lostInFlight, vStandby, ss.PendingTotal())
+	}
+	if vStandby == 0 {
+		t.Fatal("nothing flushed to the standby")
+	}
+}
+
+func TestFailoverExhaustsStandbys(t *testing.T) {
+	b, _, fo := failoverBed(t)
+	b.memNICs[0].Fail()
+	b.memNICs[1].Fail()
+	b.net.Engine.RunFor(5 * sim.Millisecond)
+	if fo.Failovers != 1 {
+		t.Fatalf("failovers = %d, want exactly 1 (no standby after the last)", fo.Failovers)
+	}
+	if fo.Standbys() != 0 {
+		t.Fatalf("standbys = %d", fo.Standbys())
+	}
+}
+
+func TestFailedNICDropsAndRecovers(t *testing.T) {
+	b := newBed(t, 1, switchsim.Config{}, rnic.Config{})
+	ch := b.establish(t, 4096, rnic.PSNTolerant, false)
+	b.sw.Pipeline = switchsim.PipelineFunc(func(ctx *switchsim.Context) { ctx.Drop() })
+	b.memNIC.Fail()
+	ch.FetchAdd(0, 5)
+	b.net.Engine.Run()
+	if v, _ := b.memNIC.ReadCounter(ch.RKey, ch.Base); v != 0 {
+		t.Fatal("crashed NIC executed an op")
+	}
+	if b.memNIC.Stats.DroppedWhileFailed == 0 {
+		t.Fatal("drop not counted")
+	}
+	b.memNIC.Recover()
+	ch.FetchAdd(0, 5)
+	b.net.Engine.Run()
+	if v, _ := b.memNIC.ReadCounter(ch.RKey, ch.Base); v != 5 {
+		t.Fatalf("recovered NIC counter = %d, want 5", v)
+	}
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+
+	"gem/internal/rnic"
+	"gem/internal/switchsim"
+	"gem/internal/wire"
+)
+
+// LookupAction is the fixed 8-byte action stored in each remote table entry.
+// Byte 0 is the action opcode; the remaining bytes are parameters.
+type LookupAction [8]byte
+
+// Action opcodes understood by ApplyDefault.
+const (
+	ActNop      uint8 = 0
+	ActSetDSCP  uint8 = 1 // param: byte 1 = DSCP value (the paper's demo action)
+	ActSetDstIP uint8 = 2 // params: bytes 1-4 = IPv4 address (bare-metal translation)
+	ActDrop     uint8 = 3
+)
+
+// SetDSCPAction builds the paper's evaluation action: rewrite the IPv4 DSCP
+// field to v.
+func SetDSCPAction(v uint8) LookupAction {
+	return LookupAction{ActSetDSCP, v}
+}
+
+// SetDstIPAction builds the bare-metal use-case action: rewrite the IPv4
+// destination (virtual IP → physical IP).
+func SetDstIPAction(ip wire.IP4) LookupAction {
+	return LookupAction{ActSetDstIP, ip[0], ip[1], ip[2], ip[3]}
+}
+
+// DropAction builds an explicit drop.
+func DropAction() LookupAction { return LookupAction{ActDrop} }
+
+// LookupMode selects the miss-handling design.
+type LookupMode int
+
+const (
+	// LookupDeposit is the paper's primary design: WRITE the original
+	// packet into the entry's packet slot, then READ back {action,
+	// packet}; the switch holds no per-packet state while waiting.
+	LookupDeposit LookupMode = iota
+	// LookupRecirculate is the §7 alternative: READ only the action and
+	// recirculate the original packet locally until the entry arrives,
+	// saving the deposit bandwidth at the cost of recirculation passes.
+	LookupRecirculate
+)
+
+// LookupConfig tunes the lookup-table primitive.
+type LookupConfig struct {
+	// Entries is the remote table size (hash-indexed, fixed entries).
+	Entries int
+	// MaxPktBytes is the packet slot size inside each entry.
+	MaxPktBytes int
+	// CacheEntries sizes the local SRAM action cache (0 disables caching).
+	CacheEntries int
+	// Mode selects deposit (default) or recirculation miss handling.
+	Mode LookupMode
+	// MaxRecircPasses bounds recirculation in LookupRecirculate mode.
+	MaxRecircPasses int
+}
+
+func (c *LookupConfig) fillDefaults() {
+	if c.MaxPktBytes == 0 {
+		c.MaxPktBytes = 1600
+	}
+	if c.MaxRecircPasses == 0 {
+		c.MaxRecircPasses = 8
+	}
+}
+
+// lookupEntryHeader is action (8) + packet length prefix (2).
+const lookupEntryHeader = 10
+
+// EntrySize returns the remote entry footprint for a config.
+func (c *LookupConfig) EntrySize() int {
+	return lookupEntryHeader + c.MaxPktBytes
+}
+
+// LookupStats are the primitive's observable counters.
+type LookupStats struct {
+	CacheHits     int64
+	RemoteLookups int64 // misses that went to remote memory
+	Applied       int64 // actions applied to packets
+	Deposits      int64 // WRITEs of original packets (deposit mode)
+	RecircPasses  int64 // recirculation passes (recirculate mode)
+	RecircExpired int64 // packets dropped after MaxRecircPasses
+	BadEntries    int64 // malformed remote entries
+}
+
+// LookupTable is the lookup-table primitive (§4): a match-action table in
+// remote DRAM, indexed by a hash of the packet's 5-tuple, consulted from
+// the data plane on a local-table miss.
+type LookupTable struct {
+	ch  *Channel
+	sw  *switchsim.Switch
+	cfg LookupConfig
+
+	cache *switchsim.CacheTable[wire.FlowKey, LookupAction]
+
+	// Apply is invoked with the packet and its action once resolved. The
+	// default applies ActSetDSCP/ActSetDstIP/ActDrop and emits to
+	// DefaultOutPort.
+	Apply func(ctx *switchsim.Context, frame []byte, action LookupAction)
+	// DefaultOutPort is where ApplyDefault emits processed packets.
+	DefaultOutPort int
+
+	// pendingActions holds actions fetched by the recirculation variant,
+	// keyed by table index, until the parked packet comes around again.
+	// fetchPSN correlates READ responses back to the index via the PSN
+	// they echo; fetchIssued dedups concurrent fetches per index.
+	pendingActions map[int]LookupAction
+	fetchIssued    map[int]bool
+	fetchPSN       map[uint32]int
+
+	Stats LookupStats
+}
+
+// NewLookupTable wires the primitive to channel ch. The channel's region
+// must hold cfg.Entries entries of cfg.EntrySize() bytes.
+func NewLookupTable(ch *Channel, cfg LookupConfig) (*LookupTable, error) {
+	cfg.fillDefaults()
+	if cfg.Entries <= 0 {
+		return nil, fmt.Errorf("core: lookup table needs a positive entry count")
+	}
+	if need := cfg.Entries * cfg.EntrySize(); need > ch.Size {
+		return nil, fmt.Errorf("core: lookup table needs %d bytes, region has %d", need, ch.Size)
+	}
+	t := &LookupTable{
+		ch: ch, sw: ch.sw, cfg: cfg,
+		pendingActions: make(map[int]LookupAction),
+		fetchIssued:    make(map[int]bool),
+		fetchPSN:       make(map[uint32]int),
+	}
+	t.Apply = t.ApplyDefault
+	if cfg.CacheEntries > 0 {
+		// A cached entry costs key (13B) + action (8B) ≈ 24B of SRAM.
+		cache, err := switchsim.NewCacheTable[wire.FlowKey, LookupAction](
+			ch.sw.SRAM, fmt.Sprintf("lookup%d/cache", ch.ID), cfg.CacheEntries, 24)
+		if err != nil {
+			return nil, err
+		}
+		t.cache = cache
+	}
+	return t, nil
+}
+
+// Config returns the effective configuration.
+func (t *LookupTable) Config() LookupConfig { return t.cfg }
+
+// Channel returns the RDMA channel the table runs over.
+func (t *LookupTable) Channel() *Channel { return t.ch }
+
+// Cache exposes the local cache (nil when disabled).
+func (t *LookupTable) Cache() *switchsim.CacheTable[wire.FlowKey, LookupAction] { return t.cache }
+
+// Lookup is the data-plane action: resolve the action for frame (whose
+// parsed form is pkt) and apply it. Cache hits complete locally; misses go
+// to remote memory with zero switch-side packet storage (deposit mode).
+func (t *LookupTable) Lookup(ctx *switchsim.Context, frame []byte, pkt *wire.Packet) {
+	key := wire.FlowOf(pkt)
+	if t.cache != nil {
+		if action, ok := t.cache.Lookup(key); ok {
+			t.Stats.CacheHits++
+			t.Stats.Applied++
+			t.Apply(ctx, frame, action)
+			return
+		}
+	}
+	t.Stats.RemoteLookups++
+	idx := key.Index(t.cfg.Entries)
+	switch t.cfg.Mode {
+	case LookupDeposit:
+		t.depositAndFetch(ctx, frame, idx)
+	case LookupRecirculate:
+		t.recircFetch(ctx, frame, idx, 0)
+	}
+}
+
+// depositAndFetch bounces the original packet through the remote entry:
+// WRITE it into the packet slot, then READ the whole {action, packet} entry.
+func (t *LookupTable) depositAndFetch(ctx *switchsim.Context, frame []byte, idx int) {
+	if len(frame) > t.cfg.MaxPktBytes {
+		t.Stats.BadEntries++
+		ctx.Drop()
+		return
+	}
+	base := idx * t.cfg.EntrySize()
+	deposit := make([]byte, 2+len(frame))
+	deposit[0] = byte(len(frame) >> 8)
+	deposit[1] = byte(len(frame))
+	copy(deposit[2:], frame)
+	t.ch.Write(base+8, deposit) // after the 8-byte action field
+	t.Stats.Deposits++
+	n := t.cfg.EntrySize()
+	respPkts := uint32((n + t.ch.MTU - 1) / t.ch.MTU)
+	t.ch.Read(base, n, respPkts)
+	ctx.Drop() // original is gone: it lives in remote memory now
+}
+
+// recircFetch implements the §7 alternative: fetch only the 8-byte action
+// and park the packet on the recirculation path meanwhile.
+func (t *LookupTable) recircFetch(ctx *switchsim.Context, frame []byte, idx, pass int) {
+	if action, ok := t.pendingActions[idx]; ok {
+		delete(t.pendingActions, idx)
+		t.Stats.Applied++
+		t.Apply(ctx, frame, action)
+		return
+	}
+	if pass >= t.cfg.MaxRecircPasses {
+		t.Stats.RecircExpired++
+		ctx.Drop()
+		return
+	}
+	if !t.fetchIssued[idx] {
+		t.fetchIssued[idx] = true
+		psn := t.ch.PSN()
+		base := idx * t.cfg.EntrySize()
+		t.ch.Read(base, 8, 1)
+		t.fetchPSN[psn] = idx
+	}
+	t.Stats.RecircPasses++
+	t.sw.Stats.Recirculated++
+	t.sw.Engine.Schedule(t.sw.Cfg.RecirculationLatency, func() {
+		// The packet re-enters the pipeline and reaches this primitive
+		// again; modelled as a direct continuation with the pass count a
+		// real program would carry in recirculation metadata.
+		c := t.sw.NewContext(switchsim.RecirculationPort, frame)
+		t.recircFetchRecirced(c, frame, idx, pass+1)
+	})
+}
+
+// recircFetchRecirced is the recirculated continuation; split out so tests
+// can count passes distinctly.
+func (t *LookupTable) recircFetchRecirced(ctx *switchsim.Context, frame []byte, idx, pass int) {
+	t.recircFetch(ctx, frame, idx, pass)
+}
+
+// HandleResponse consumes READ responses from the remote table.
+func (t *LookupTable) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) {
+	if !pkt.BTH.Opcode.IsReadResponse() {
+		ctx.Drop() // ACKs ignored by the prototype
+		return
+	}
+	payload := pkt.Payload
+	if len(payload) < 8 {
+		t.Stats.BadEntries++
+		ctx.Drop()
+		return
+	}
+	var action LookupAction
+	copy(action[:], payload[:8])
+
+	if t.cfg.Mode == LookupRecirculate {
+		// Action-only fetch: the response echoes the request PSN, which
+		// the primitive recorded against the table index at issue time.
+		if idx, ok := t.fetchPSN[pkt.BTH.PSN]; ok {
+			delete(t.fetchPSN, pkt.BTH.PSN)
+			delete(t.fetchIssued, idx)
+			t.pendingActions[idx] = action
+		}
+		ctx.Drop()
+		return
+	}
+
+	if len(payload) < lookupEntryHeader {
+		t.Stats.BadEntries++
+		ctx.Drop()
+		return
+	}
+	plen := int(payload[8])<<8 | int(payload[9])
+	if plen <= 0 || lookupEntryHeader+plen > len(payload) {
+		t.Stats.BadEntries++
+		ctx.Drop()
+		return
+	}
+	orig := append([]byte(nil), payload[lookupEntryHeader:lookupEntryHeader+plen]...)
+	// Re-parse the bounced original to recover its flow key for caching.
+	var inner wire.Packet
+	if err := inner.DecodeFromBytes(orig); err != nil {
+		t.Stats.BadEntries++
+		ctx.Drop()
+		return
+	}
+	if t.cache != nil {
+		t.cache.Put(wire.FlowOf(&inner), action)
+	}
+	t.Stats.Applied++
+	t.Apply(ctx, orig, action)
+}
+
+// ApplyDefault interprets the built-in action opcodes and emits to
+// DefaultOutPort.
+func (t *LookupTable) ApplyDefault(ctx *switchsim.Context, frame []byte, action LookupAction) {
+	if !t.ApplyActionOnly(frame, action) {
+		ctx.Drop()
+		return
+	}
+	ctx.Emit(t.DefaultOutPort, frame)
+}
+
+// ApplyActionOnly mutates frame per the built-in action opcodes, without a
+// forwarding decision. It reports false when the action is a drop.
+func (t *LookupTable) ApplyActionOnly(frame []byte, action LookupAction) bool {
+	switch action[0] {
+	case ActDrop:
+		return false
+	case ActSetDSCP:
+		rewriteDSCP(frame, action[1])
+	case ActSetDstIP:
+		rewriteDstIP(frame, wire.IP4{action[1], action[2], action[3], action[4]})
+	}
+	return true
+}
+
+// rewriteDSCP patches the IPv4 DSCP field in place and fixes the checksum.
+func rewriteDSCP(frame []byte, dscp uint8) {
+	if len(frame) < wire.EthernetLen+wire.IPv4Len {
+		return
+	}
+	ip := frame[wire.EthernetLen:]
+	ip[1] = dscp<<2 | ip[1]&0x3
+	reChecksumIPv4(ip)
+}
+
+// rewriteDstIP patches the IPv4 destination in place and fixes the checksum.
+func rewriteDstIP(frame []byte, dst wire.IP4) {
+	if len(frame) < wire.EthernetLen+wire.IPv4Len {
+		return
+	}
+	ip := frame[wire.EthernetLen:]
+	copy(ip[16:20], dst[:])
+	reChecksumIPv4(ip)
+}
+
+func reChecksumIPv4(ip []byte) {
+	var h wire.IPv4
+	if err := h.DecodeFromBytes(ip); err == nil {
+		h.Put(ip)
+	}
+}
+
+// PopulateLookupEntry writes an action into entry idx of the remote table's
+// backing region — the server-side (control-plane, init-time) population of
+// the sharded mapping table described in §2.2.
+func PopulateLookupEntry(region *rnic.Region, cfg LookupConfig, idx int, action LookupAction) error {
+	cfg.fillDefaults()
+	base := idx * cfg.EntrySize()
+	if idx < 0 || base+8 > len(region.Data) {
+		return fmt.Errorf("core: lookup entry %d outside region", idx)
+	}
+	copy(region.Data[base:base+8], action[:])
+	return nil
+}

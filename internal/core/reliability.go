@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"gem/internal/sim"
+	"gem/internal/switchsim"
+	"gem/internal/wire"
+)
+
+// Retransmitter is the §7 reliability extension: "on the switch side, one
+// can implement parsing and handling of RDMA ACKs/NACKs to make certain
+// remote memory reliable, e.g., in the remote counter case."
+//
+// It wraps a channel whose QP runs in strict PSN mode with AckReq set,
+// keeps a copy of every unacknowledged request frame in switch buffer
+// memory, and retransmits go-back-N style on a NAK or a timeout. Combined
+// with the RNIC's atomic replay cache this makes remote counters exact even
+// across packet loss on the memory link (experiment E8c).
+type Retransmitter struct {
+	ch *Channel
+	sw *switchsim.Switch
+
+	// Timeout before unacknowledged requests are resent.
+	Timeout sim.Duration
+	// Window caps unacknowledged requests in flight.
+	Window int
+
+	unacked []relFrame
+	timer   *sim.Event
+
+	// Inner receives responses after the retransmitter processes
+	// ACK/NAK bookkeeping (e.g. the StateStore consuming atomic ACKs).
+	Inner ResponseHandler
+
+	// Stats.
+	Retransmits int64
+	NaksSeen    int64
+}
+
+type relFrame struct {
+	psn   uint32
+	frame []byte
+}
+
+// NewRetransmitter wraps channel ch. The channel must have been established
+// with AckReq and rnic.PSNStrict for the recovery protocol to be sound.
+func NewRetransmitter(ch *Channel, window int) (*Retransmitter, error) {
+	if !ch.AckReq {
+		return nil, fmt.Errorf("core: retransmitter requires an AckReq channel")
+	}
+	if window <= 0 {
+		window = 16
+	}
+	return &Retransmitter{
+		ch: ch, sw: ch.sw,
+		Timeout: 100 * sim.Microsecond,
+		Window:  window,
+	}, nil
+}
+
+// FetchAdd issues a *reliable* Fetch-and-Add: the request is tracked and
+// retransmitted until acknowledged. CanSend gates the caller when the
+// retransmit window is full (the RNIC's atomic replay cache depth bounds
+// how many atomics may safely be outstanding).
+func (r *Retransmitter) FetchAdd(offset int, delta uint64) uint32 {
+	psn := r.ch.NextPSN(1)
+	va := r.ch.VA(offset, 8)
+	frame := wire.BuildFetchAdd(r.chParams(psn), va, r.ch.RKey, delta)
+	r.track(psn, frame)
+	return psn
+}
+
+// Write issues a reliable RDMA WRITE.
+func (r *Retransmitter) Write(offset int, payload []byte) uint32 {
+	psn := r.ch.NextPSN(1)
+	va := r.ch.VA(offset, len(payload))
+	frame := wire.BuildWriteOnly(r.chParams(psn), va, r.ch.RKey, payload)
+	r.track(psn, frame)
+	return psn
+}
+
+// CanSend reports whether the retransmit window has room for another
+// tracked request.
+func (r *Retransmitter) CanSend() bool { return len(r.unacked) < r.Window }
+
+func (r *Retransmitter) chParams(psn uint32) *wire.RoCEParams {
+	p := r.ch.params(psn)
+	p.AckReq = true
+	return p
+}
+
+func (r *Retransmitter) track(psn uint32, frame []byte) {
+	r.trackOnly(psn, frame)
+	r.ch.inject(frame)
+}
+
+func (r *Retransmitter) trackOnly(psn uint32, frame []byte) {
+	r.unacked = append(r.unacked, relFrame{psn: psn, frame: frame})
+	r.armTimer()
+}
+
+func (r *Retransmitter) armTimer() {
+	if r.timer != nil {
+		r.sw.Engine.Cancel(r.timer)
+		r.timer = nil
+	}
+	if len(r.unacked) == 0 {
+		return
+	}
+	r.timer = r.sw.Engine.Schedule(r.Timeout, r.goBackN)
+}
+
+// goBackN resends every unacknowledged frame in order.
+func (r *Retransmitter) goBackN() {
+	r.timer = nil
+	for _, u := range r.unacked {
+		r.Retransmits++
+		r.ch.inject(u.frame)
+	}
+	r.armTimer()
+}
+
+// Unacked reports the number of tracked, unacknowledged requests.
+func (r *Retransmitter) Unacked() int { return len(r.unacked) }
+
+// HandleResponse processes ACK/NAK bookkeeping, then forwards the response
+// to Inner (if any).
+func (r *Retransmitter) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) {
+	switch pkt.BTH.Opcode {
+	case wire.OpAcknowledge:
+		if pkt.HasAETH && pkt.AETH.IsNak() {
+			r.NaksSeen++
+			r.goBackN()
+			ctx.Drop()
+			return
+		}
+		r.ackThrough(pkt.BTH.PSN)
+	case wire.OpAtomicAcknowledge:
+		r.ackThrough(pkt.BTH.PSN)
+	}
+	if r.Inner != nil {
+		r.Inner.HandleResponse(ctx, pkt)
+	} else {
+		ctx.Drop()
+	}
+	r.armTimer()
+}
+
+// ackThrough drops every tracked frame at or before psn (cumulative ACK).
+func (r *Retransmitter) ackThrough(psn uint32) {
+	keep := r.unacked[:0]
+	for _, u := range r.unacked {
+		if psnAfter24(u.psn, psn) {
+			keep = append(keep, u)
+		}
+	}
+	r.unacked = keep
+}

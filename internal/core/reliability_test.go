@@ -1,0 +1,219 @@
+package core
+
+import (
+	"testing"
+
+	"gem/internal/netsim"
+	"gem/internal/rnic"
+	"gem/internal/sim"
+	"gem/internal/switchsim"
+	"gem/internal/wire"
+)
+
+// lossyBed wires a bed whose memory link drops frames with prob loss.
+func lossyBed(t *testing.T, loss float64) *bed {
+	t.Helper()
+	n := netsim.New(7)
+	sw := switchsim.New("tor", n.Engine, switchsim.Config{})
+	h := netsim.NewHost("h", 1)
+	hp, _ := n.Connect(sw, h, netsim.Link40G())
+	memHost := netsim.NewHost("memsrv", 200)
+	memNIC := rnic.New("memsrv-nic", memHost, rnic.Config{})
+	lossy := netsim.Link40G()
+	lossy.LossRate = loss
+	sp, np := n.Connect(sw, memNIC, lossy)
+	memNIC.Bind(n.Engine, np)
+	sw.Bind(hp, sp)
+	return &bed{
+		net: n, sw: sw, hosts: []*netsim.Host{h},
+		memNIC: memNIC, memHost: memHost, memPort: 1,
+		memNICs: []*rnic.NIC{memNIC}, memHosts: []*netsim.Host{memHost},
+		ctrl: NewController(sw), disp: NewDispatcher(),
+	}
+}
+
+func TestRetransmitterRequiresAckReq(t *testing.T) {
+	b := newBed(t, 1, switchsim.Config{}, rnic.Config{})
+	ch := b.establish(t, 4096, rnic.PSNStrict, false)
+	if _, err := NewRetransmitter(ch, 8); err == nil {
+		t.Fatal("retransmitter accepted a channel without AckReq")
+	}
+}
+
+func TestReliableFAAExactUnderLoss(t *testing.T) {
+	// 2% loss on the memory link; the retransmitter must deliver an
+	// exact count anyway — the E8c claim.
+	b := lossyBed(t, 0.02)
+	ch, err := b.ctrl.Establish(ChannelSpec{
+		SwitchPort: 1, NIC: b.memNIC,
+		RegionBase: 0x1000, RegionSize: 4096,
+		Mode: rnic.PSNStrict, AckReq: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRetransmitter(ch, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Timeout = 20 * sim.Microsecond
+	b.disp.Register(ch, rt)
+	b.sw.Pipeline = switchsim.PipelineFunc(func(ctx *switchsim.Context) {
+		if !b.disp.Dispatch(ctx) {
+			ctx.Drop()
+		}
+	})
+	const n = 400
+	issued := 0
+	// Pace sends within the window; CanSend gates against the replay
+	// cache depth.
+	b.net.Engine.Ticker(500*sim.Nanosecond, func() bool {
+		for issued < n && rt.CanSend() {
+			rt.FetchAdd(0, 1)
+			issued++
+		}
+		return issued < n || rt.Unacked() > 0
+	})
+	b.net.Engine.Run()
+	if rt.Unacked() != 0 {
+		t.Fatalf("unacked = %d after drain", rt.Unacked())
+	}
+	v, err := b.memNIC.ReadCounter(ch.RKey, ch.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != n {
+		t.Fatalf("remote counter = %d, want %d (retransmits %d, naks %d)",
+			v, n, rt.Retransmits, rt.NaksSeen)
+	}
+	if rt.Retransmits == 0 {
+		t.Fatal("suspicious: 2% loss but zero retransmits")
+	}
+}
+
+func TestUnreliableFAAInaccurateUnderLoss(t *testing.T) {
+	// Control for E8c: without the extension, the same loss rate loses
+	// counts (tolerant QP, fire-and-forget).
+	b := lossyBed(t, 0.05)
+	ch, err := b.ctrl.Establish(ChannelSpec{
+		SwitchPort: 1, NIC: b.memNIC,
+		RegionBase: 0x1000, RegionSize: 4096,
+		Mode: rnic.PSNTolerant,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.sw.Pipeline = switchsim.PipelineFunc(func(ctx *switchsim.Context) { ctx.Drop() })
+	const n = 400
+	for i := 0; i < n; i++ {
+		ch.FetchAdd(0, 1)
+	}
+	b.net.Engine.Run()
+	v, _ := b.memNIC.ReadCounter(ch.RKey, ch.Base)
+	if v == n {
+		t.Fatal("counter exact despite 5% loss and no reliability")
+	}
+	if v == 0 || v > n {
+		t.Fatalf("counter = %d, want (0,%d)", v, n)
+	}
+}
+
+func TestReliableWriteUnderLoss(t *testing.T) {
+	b := lossyBed(t, 0.03)
+	ch, err := b.ctrl.Establish(ChannelSpec{
+		SwitchPort: 1, NIC: b.memNIC,
+		RegionBase: 0x1000, RegionSize: 1 << 16,
+		Mode: rnic.PSNStrict, AckReq: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRetransmitter(ch, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Timeout = 20 * sim.Microsecond
+	b.disp.Register(ch, rt)
+	b.sw.Pipeline = switchsim.PipelineFunc(func(ctx *switchsim.Context) {
+		if !b.disp.Dispatch(ctx) {
+			ctx.Drop()
+		}
+	})
+	const n = 64
+	issued := 0
+	b.net.Engine.Ticker(1*sim.Microsecond, func() bool {
+		for issued < n && rt.CanSend() {
+			payload := []byte{byte(issued), byte(issued >> 8), 0xAB, 0xCD}
+			rt.Write(issued*16, payload)
+			issued++
+		}
+		return issued < n || rt.Unacked() > 0
+	})
+	b.net.Engine.Run()
+	region := b.memNIC.LookupRegion(ch.RKey)
+	for i := 0; i < n; i++ {
+		got := region.Data[i*16 : i*16+4]
+		if got[0] != byte(i) || got[1] != byte(i>>8) || got[2] != 0xAB || got[3] != 0xCD {
+			t.Fatalf("write %d corrupted/missing: % x", i, got)
+		}
+	}
+}
+
+func TestRetransmitterAckClearsWindow(t *testing.T) {
+	b := newBed(t, 1, switchsim.Config{}, rnic.Config{})
+	ch := b.establish(t, 4096, rnic.PSNStrict, true)
+	rt, err := NewRetransmitter(ch, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.disp.Register(ch, rt)
+	b.sw.Pipeline = switchsim.PipelineFunc(func(ctx *switchsim.Context) {
+		if !b.disp.Dispatch(ctx) {
+			ctx.Drop()
+		}
+	})
+	rt.FetchAdd(0, 1)
+	rt.FetchAdd(8, 2)
+	if rt.Unacked() != 2 {
+		t.Fatalf("unacked = %d", rt.Unacked())
+	}
+	b.net.Engine.Run()
+	if rt.Unacked() != 0 {
+		t.Fatalf("unacked = %d after acks", rt.Unacked())
+	}
+	if rt.Retransmits != 0 {
+		t.Fatalf("retransmits = %d on a clean link", rt.Retransmits)
+	}
+	v0, _ := b.memNIC.ReadCounter(ch.RKey, ch.Base)
+	v1, _ := b.memNIC.ReadCounter(ch.RKey, ch.Base+8)
+	if v0 != 1 || v1 != 2 {
+		t.Fatalf("counters = %d,%d", v0, v1)
+	}
+}
+
+func TestRetransmitterForwardsToInner(t *testing.T) {
+	b := newBed(t, 1, switchsim.Config{}, rnic.Config{})
+	ch := b.establish(t, 4096, rnic.PSNStrict, true)
+	rt, err := NewRetransmitter(ch, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := 0
+	rt.Inner = handlerFunc(func(ctx *switchsim.Context, pkt *wire.Packet) {
+		if pkt.BTH.Opcode == wire.OpAtomicAcknowledge {
+			inner++
+		}
+		ctx.Drop()
+	})
+	b.disp.Register(ch, rt)
+	b.sw.Pipeline = switchsim.PipelineFunc(func(ctx *switchsim.Context) {
+		if !b.disp.Dispatch(ctx) {
+			ctx.Drop()
+		}
+	})
+	rt.FetchAdd(0, 1)
+	b.net.Engine.Run()
+	if inner != 1 {
+		t.Fatalf("inner saw %d atomic acks, want 1", inner)
+	}
+}

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"fmt"
+
+	"gem/internal/sim"
+	"gem/internal/switchsim"
+	"gem/internal/wire"
+)
+
+// PacketBufferConfig tunes the packet-buffer primitive.
+type PacketBufferConfig struct {
+	// EntrySize is the ring slot size; each slot stores one full-sized
+	// Ethernet frame plus a 2-byte length prefix (paper: "we allocate the
+	// buffer to store full-sized Ethernet frame in each entry").
+	EntrySize int
+	// HighWaterBytes: when the protected egress queue exceeds this, new
+	// packets detour to the remote ring.
+	HighWaterBytes int
+	// LowWaterBytes: loading from the ring proceeds while the protected
+	// queue sits below this. The two watermarks are independent triggers;
+	// LowWater above HighWater is legal (load aggressively even while
+	// still spilling).
+	LowWaterBytes int
+	// MaxOutstandingReads bounds in-flight READ requests across all
+	// channels.
+	MaxOutstandingReads int
+	// ReadTimeout re-issues a READ whose response never arrived (READs
+	// are idempotent, so retry is always safe). Zero = 200 µs.
+	ReadTimeout sim.Duration
+}
+
+// DefaultPacketBufferConfig returns the defaults used by the experiments.
+func DefaultPacketBufferConfig() PacketBufferConfig {
+	return PacketBufferConfig{
+		EntrySize:           2048,
+		HighWaterBytes:      512 << 10,
+		LowWaterBytes:       256 << 10,
+		MaxOutstandingReads: 16,
+		ReadTimeout:         200 * sim.Microsecond,
+	}
+}
+
+func (c *PacketBufferConfig) fillDefaults() {
+	d := DefaultPacketBufferConfig()
+	if c.EntrySize == 0 {
+		c.EntrySize = d.EntrySize
+	}
+	if c.HighWaterBytes == 0 {
+		c.HighWaterBytes = d.HighWaterBytes
+	}
+	if c.LowWaterBytes == 0 {
+		c.LowWaterBytes = d.LowWaterBytes
+	}
+	if c.MaxOutstandingReads == 0 {
+		c.MaxOutstandingReads = d.MaxOutstandingReads
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = d.ReadTimeout
+	}
+}
+
+// PacketBufferStats are the primitive's observable counters.
+type PacketBufferStats struct {
+	Bypassed       int64 // packets forwarded directly (queue healthy)
+	Stored         int64 // packets spilled to the remote ring
+	Loaded         int64 // packets pulled back and forwarded
+	RingDrops      int64 // packets dropped because the remote ring was full
+	StoreFails     int64 // WRITE requests the memory-link egress refused
+	ReadRetries    int64 // READs re-issued after a timeout
+	StaleResponses int64 // responses that matched no outstanding READ
+	MaxDepth       int64 // peak ring occupancy in entries
+}
+
+// PacketBuffer is the packet-buffer primitive (§4): a ring buffer in remote
+// DRAM that extends one egress queue. When the queue passes the high-water
+// mark the switch WRITEs every subsequent packet bound for it into the
+// ring; as the queue drains it READs them back in order and forwards them.
+// While any packet sits in the ring, all new arrivals for the port are also
+// ring-routed, preserving order (the paper's ordering rule).
+//
+// The ring may be striped over several channels — "one or multiple servers"
+// in §2.1 — because once detouring, the ordering rule sends the full
+// arrival rate through the memory links: an n:1 incast at line rate needs
+// about n server links of remote-buffer bandwidth. Entries stripe
+// round-robin; a small switch-side reorder stage (bounded by the
+// outstanding-read window) restores global order across channels.
+type PacketBuffer struct {
+	chans []*Channel
+	sw    *switchsim.Switch
+	cfg   PacketBufferConfig
+
+	// OutPort is the protected egress port.
+	OutPort int
+
+	perChan int // entries per channel
+	total   int // total ring entries
+
+	// Ring cursors are monotonically increasing; entry g lives on channel
+	// g % len(chans) at slot (g / len(chans)) % perChan.
+	// tail: next entry to write; readNext: next to request;
+	// emitNext: next to forward (order restoration point).
+	cursors *switchsim.RegisterArray // 0=tail 1=readNext 2=emitNext
+	detour  bool
+	paused  bool
+
+	byQPN map[uint32]int // channel ID → index in chans
+
+	// READ tracking: responses echo the request PSN, which correlates
+	// them back to ring entries and makes timeout retry safe.
+	outstanding map[uint64]*outstandingRead // by entry number
+	byPSN       map[psnKey]uint64           // (channel, first PSN) → entry
+	currentG    []int64                     // per-channel entry being reassembled (-1 none)
+	partial     [][]byte                    // per-channel reassembly buffer
+	reorder     map[uint64][]byte
+
+	Stats PacketBufferStats
+}
+
+type outstandingRead struct {
+	g        uint64
+	chanIdx  int
+	psn      uint32
+	issuedAt sim.Time
+}
+
+type psnKey struct {
+	chanIdx int
+	psn     uint32
+}
+
+const (
+	regTail = iota
+	regReadNext
+	regEmitNext
+)
+
+// NewPacketBuffer wires the primitive to one or more channels protecting
+// outPort. All channels should have the same region size and MTU.
+func NewPacketBuffer(chans []*Channel, outPort int, cfg PacketBufferConfig) (*PacketBuffer, error) {
+	cfg.fillDefaults()
+	if len(chans) == 0 {
+		return nil, fmt.Errorf("core: packet buffer needs at least one channel")
+	}
+	perChan := chans[0].Size / cfg.EntrySize
+	for _, ch := range chans {
+		if n := ch.Size / cfg.EntrySize; n < perChan {
+			perChan = n
+		}
+	}
+	if perChan < 2 {
+		return nil, fmt.Errorf("core: ring would have %d entries per channel; need >= 2", perChan)
+	}
+	sw := chans[0].sw
+	regs, err := switchsim.NewRegisterArray(sw.SRAM,
+		fmt.Sprintf("pktbuf%d/cursors", chans[0].ID), 3)
+	if err != nil {
+		return nil, err
+	}
+	b := &PacketBuffer{
+		chans: chans, sw: sw, cfg: cfg, OutPort: outPort,
+		perChan: perChan, total: perChan * len(chans),
+		cursors:     regs,
+		byQPN:       make(map[uint32]int, len(chans)),
+		outstanding: make(map[uint64]*outstandingRead),
+		byPSN:       make(map[psnKey]uint64),
+		currentG:    make([]int64, len(chans)),
+		partial:     make([][]byte, len(chans)),
+		reorder:     make(map[uint64][]byte),
+	}
+	for i, ch := range chans {
+		b.byQPN[ch.ID] = i
+		b.currentG[i] = -1
+	}
+	return b, nil
+}
+
+// RegisterWith binds the primitive's channels to the dispatcher.
+func (b *PacketBuffer) RegisterWith(d *Dispatcher) {
+	for _, ch := range b.chans {
+		d.Register(ch, b)
+	}
+}
+
+// Config returns the effective configuration.
+func (b *PacketBuffer) Config() PacketBufferConfig { return b.cfg }
+
+// Depth returns the current ring occupancy in entries (stored, not yet
+// forwarded).
+func (b *PacketBuffer) Depth() int {
+	return int(b.cursors.Get(regTail) - b.cursors.Get(regEmitNext))
+}
+
+// Detouring reports whether the primitive is currently routing packets via
+// the remote ring.
+func (b *PacketBuffer) Detouring() bool { return b.detour }
+
+// PauseLoading suspends READ issue — the §5 microbenchmark "manually
+// start[s] the two steps respectively", and separating phases lets the
+// harness measure pure store and pure load rates.
+func (b *PacketBuffer) PauseLoading() { b.paused = true }
+
+// ResumeLoading re-enables READ issue and immediately pulls.
+func (b *PacketBuffer) ResumeLoading() {
+	b.paused = false
+	b.maybeLoad()
+}
+
+func (b *PacketBuffer) channelOf(g uint64) (*Channel, int, int) {
+	c := int(g % uint64(len(b.chans)))
+	slot := int(g/uint64(len(b.chans))) % b.perChan
+	return b.chans[c], c, slot * b.cfg.EntrySize
+}
+
+// Admit is the data-plane action: the application pipeline calls it for
+// every packet destined to the protected port instead of Emit. It decides
+// between the direct path and the remote ring.
+func (b *PacketBuffer) Admit(ctx *switchsim.Context, frame []byte) {
+	if !b.detour && ctx.QueueBytes(b.OutPort)+len(frame) <= b.cfg.HighWaterBytes {
+		b.Stats.Bypassed++
+		ctx.Emit(b.OutPort, frame)
+		return
+	}
+	b.store(frame)
+	b.maybeLoad()
+}
+
+func (b *PacketBuffer) store(frame []byte) {
+	if len(frame)+2 > b.cfg.EntrySize {
+		b.Stats.RingDrops++
+		return
+	}
+	tail := b.cursors.Get(regTail)
+	if tail-b.cursors.Get(regEmitNext) >= uint64(b.total) {
+		b.Stats.RingDrops++ // remote ring full: the >10 GB pool exhausted
+		return
+	}
+	entry := make([]byte, 2+len(frame))
+	entry[0] = byte(len(frame) >> 8)
+	entry[1] = byte(len(frame))
+	copy(entry[2:], frame)
+	ch, _, off := b.channelOf(tail)
+	if !ch.Write(off, entry) {
+		b.Stats.StoreFails++
+		return
+	}
+	b.cursors.Set(regTail, tail+1)
+	b.detour = true
+	b.Stats.Stored++
+	if d := int64(b.Depth()); d > b.Stats.MaxDepth {
+		b.Stats.MaxDepth = d
+	}
+}
+
+// issueRead sends the READ for entry g and tracks it.
+func (b *PacketBuffer) issueRead(g uint64) bool {
+	ch, c, off := b.channelOf(g)
+	respPkts := uint32((b.cfg.EntrySize + ch.MTU - 1) / ch.MTU)
+	psn := ch.PSN()
+	if !ch.Read(off, b.cfg.EntrySize, respPkts) {
+		return false
+	}
+	rec := b.outstanding[g]
+	if rec == nil {
+		rec = &outstandingRead{g: g, chanIdx: c}
+		b.outstanding[g] = rec
+	} else {
+		delete(b.byPSN, psnKey{c, rec.psn})
+	}
+	rec.psn = psn
+	rec.issuedAt = b.sw.Engine.Now()
+	b.byPSN[psnKey{c, psn}] = g
+	// Progress guarantee: if the response is lost and the egress goes
+	// idle (no departures to re-trigger loading), this event retries.
+	b.sw.Engine.Schedule(b.cfg.ReadTimeout+sim.Microsecond, b.maybeLoad)
+	return true
+}
+
+// maybeLoad issues READ requests while the protected queue has room and
+// stored packets remain, and retries any READ that has timed out.
+func (b *PacketBuffer) maybeLoad() {
+	b.retryStale()
+	for b.detour && !b.paused &&
+		b.cursors.Get(regReadNext) < b.cursors.Get(regTail) &&
+		len(b.outstanding) < b.cfg.MaxOutstandingReads &&
+		b.sw.QueueBytes(b.OutPort) < b.cfg.LowWaterBytes {
+		g := b.cursors.Get(regReadNext)
+		if !b.issueRead(g) {
+			return // memory-link egress full; departures will retrigger
+		}
+		b.cursors.Set(regReadNext, g+1)
+	}
+}
+
+// retryStale re-issues READs whose responses were lost (request or
+// response dropped on a saturated path).
+func (b *PacketBuffer) retryStale() {
+	if b.paused || len(b.outstanding) == 0 {
+		return
+	}
+	now := b.sw.Engine.Now()
+	for _, rec := range b.outstanding {
+		if now.Sub(rec.issuedAt) > b.cfg.ReadTimeout {
+			if b.issueRead(rec.g) {
+				b.Stats.ReadRetries++
+			}
+		}
+	}
+}
+
+// PacketDeparted implements the egress hook trigger: each departure from
+// the protected port is an opportunity to pull more packets back.
+func (b *PacketBuffer) PacketDeparted(port int, queueBytes int) {
+	if port == b.OutPort {
+		b.maybeLoad()
+	}
+}
+
+// PacketEnqueued implements switchsim.EgressHooks (no action needed).
+func (b *PacketBuffer) PacketEnqueued(port int, queueBytes int) {}
+
+// HandleResponse consumes READ responses: decapsulate the RoCE headers and
+// forward the original packet to the protected port (§4: "The switch must
+// parse the READ response, decapsulate the RoCE headers, and passes the
+// original packet to the egress pipeline").
+func (b *PacketBuffer) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) {
+	c, ok := b.byQPN[pkt.BTH.DestQP]
+	if !ok {
+		ctx.Drop()
+		return
+	}
+	switch pkt.BTH.Opcode {
+	case wire.OpReadResponseOnly:
+		if g, ok := b.byPSN[psnKey{c, pkt.BTH.PSN}]; ok {
+			b.finishEntry(ctx, g, pkt.Payload)
+		} else {
+			b.Stats.StaleResponses++
+			ctx.Drop()
+		}
+	case wire.OpReadResponseFirst:
+		if g, ok := b.byPSN[psnKey{c, pkt.BTH.PSN}]; ok {
+			b.currentG[c] = int64(g)
+			b.partial[c] = append(b.partial[c][:0], pkt.Payload...)
+		} else {
+			b.Stats.StaleResponses++
+			b.currentG[c] = -1
+		}
+		ctx.Drop()
+	case wire.OpReadResponseMiddle:
+		if b.currentG[c] >= 0 {
+			b.partial[c] = append(b.partial[c], pkt.Payload...)
+		}
+		ctx.Drop()
+	case wire.OpReadResponseLast:
+		if g := b.currentG[c]; g >= 0 {
+			entry := append(b.partial[c], pkt.Payload...)
+			b.currentG[c] = -1
+			b.partial[c] = b.partial[c][:0]
+			b.finishEntry(ctx, uint64(g), entry)
+		} else {
+			ctx.Drop()
+		}
+	default:
+		// ACK/NAK: the prototype ignores them (reliability is §7 work).
+		ctx.Drop()
+	}
+}
+
+func (b *PacketBuffer) finishEntry(ctx *switchsim.Context, g uint64, entry []byte) {
+	rec, ok := b.outstanding[g]
+	if !ok {
+		b.Stats.StaleResponses++
+		ctx.Drop()
+		return
+	}
+	delete(b.byPSN, psnKey{rec.chanIdx, rec.psn})
+	delete(b.outstanding, g)
+
+	var orig []byte
+	if len(entry) >= 2 {
+		n := int(entry[0])<<8 | int(entry[1])
+		if n > 0 && 2+n <= len(entry) {
+			orig = append([]byte(nil), entry[2:2+n]...)
+		}
+	}
+	b.reorder[g] = orig
+
+	// Emit in global order across channels.
+	for {
+		e := b.cursors.Get(regEmitNext)
+		frame, ok := b.reorder[e]
+		if !ok {
+			break
+		}
+		delete(b.reorder, e)
+		b.cursors.Set(regEmitNext, e+1)
+		if frame != nil {
+			b.Stats.Loaded++
+			ctx.Emit(b.OutPort, frame)
+		}
+	}
+	if b.Depth() == 0 && len(b.outstanding) == 0 {
+		// Ring drained: new packets may take the direct path again.
+		b.detour = false
+	} else {
+		b.maybeLoad()
+	}
+}

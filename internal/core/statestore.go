@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+
+	"gem/internal/sim"
+	"gem/internal/switchsim"
+	"gem/internal/wire"
+)
+
+// StateStoreConfig tunes the state-store primitive.
+type StateStoreConfig struct {
+	// Counters is the number of 8-byte counters in the remote region.
+	Counters int
+	// MaxOutstanding caps in-flight Fetch-and-Add requests — "Since there
+	// is a maximum limit of outstanding RDMA atomic requests that an RNIC
+	// can handle, we design this primitive to maintain the number of
+	// outstanding requests" (§4).
+	MaxOutstanding int
+	// PendingSlots bounds the switch-side accumulation table used while
+	// the RNIC is saturated; updates beyond it are dropped and counted.
+	PendingSlots int
+	// Batch combines this many per-counter updates into one FAA (§7
+	// future work: "combine multiple counter updates into a single
+	// operation, at the cost of some delay in updates"). 1 = no batching.
+	Batch uint64
+	// OutstandingTimeout declares an unanswered FAA lost, releasing its
+	// outstanding slot (the switch "keeps track of RNIC progress").
+	OutstandingTimeout sim.Duration
+}
+
+func (c *StateStoreConfig) fillDefaults() {
+	if c.MaxOutstanding == 0 {
+		c.MaxOutstanding = 16
+	}
+	if c.PendingSlots == 0 {
+		c.PendingSlots = 4096
+	}
+	if c.Batch == 0 {
+		c.Batch = 1
+	}
+	if c.OutstandingTimeout == 0 {
+		c.OutstandingTimeout = 500 * sim.Microsecond
+	}
+}
+
+// StateStoreStats are the primitive's observable counters.
+type StateStoreStats struct {
+	Updates        int64 // data-plane count events observed
+	FAAIssued      int64 // Fetch-and-Add requests sent
+	AcksSeen       int64 // atomic ACKs consumed
+	Accumulated    int64 // updates absorbed into pending accumulators
+	DroppedUpdates int64 // updates lost because the pending table was full
+	TimedOut       int64 // FAAs declared lost by the outstanding tracker
+}
+
+// StateStore is the state-store primitive (§4): per-flow counters in remote
+// DRAM updated with RDMA atomic Fetch-and-Add. While the RNIC's atomic
+// pipeline is saturated, updates accumulate in switch registers and are
+// flushed — with the accumulated delta — as slots free up, so the remote
+// value stays exact.
+type StateStore struct {
+	ch  *Channel
+	sw  *switchsim.Switch
+	cfg StateStoreConfig
+
+	outstanding int
+	inflight    []faaRecord // FIFO of unanswered FAAs
+
+	pending    map[int]uint64 // counter index → accumulated delta
+	dirty      []int          // FIFO of indexes with pending deltas
+	pendingSum uint64
+
+	Stats StateStoreStats
+}
+
+type faaRecord struct {
+	psn    uint32
+	sentAt sim.Time
+}
+
+// NewStateStore wires the primitive to channel ch. The channel region must
+// hold cfg.Counters 8-byte words.
+func NewStateStore(ch *Channel, cfg StateStoreConfig) (*StateStore, error) {
+	cfg.fillDefaults()
+	if cfg.Counters <= 0 {
+		return nil, fmt.Errorf("core: state store needs a positive counter count")
+	}
+	if need := cfg.Counters * 8; need > ch.Size {
+		return nil, fmt.Errorf("core: %d counters need %d bytes, region has %d",
+			cfg.Counters, need, ch.Size)
+	}
+	// The pending table is switch SRAM: index (4B) + delta (8B) + slack.
+	if err := ch.sw.SRAM.Alloc(fmt.Sprintf("statestore%d/pending", ch.ID), cfg.PendingSlots*16); err != nil {
+		return nil, err
+	}
+	return &StateStore{
+		ch: ch, sw: ch.sw, cfg: cfg,
+		pending: make(map[int]uint64, cfg.PendingSlots),
+	}, nil
+}
+
+// Config returns the effective configuration.
+func (s *StateStore) Config() StateStoreConfig { return s.cfg }
+
+// Channel returns the RDMA channel the store runs over.
+func (s *StateStore) Channel() *Channel { return s.ch }
+
+// Rebind moves the store to a new channel (server failover). In-flight
+// requests to the old server are abandoned; locally accumulated updates are
+// preserved and will flush to the new server. Counts already committed to
+// the dead server's DRAM are lost — the caller accounts for them via the
+// old region if it ever comes back.
+func (s *StateStore) Rebind(ch *Channel) {
+	if need := s.cfg.Counters * 8; need > ch.Size {
+		panic(fmt.Sprintf("core: rebind target region too small: %d < %d", ch.Size, need))
+	}
+	s.ch = ch
+	s.inflight = nil
+	s.outstanding = 0
+	s.flush()
+}
+
+// Outstanding reports in-flight FAA requests.
+func (s *StateStore) Outstanding() int { return s.outstanding }
+
+// PendingTotal reports updates accumulated on the switch but not yet
+// flushed to remote memory — the value accuracy checks add to the remote
+// counters.
+func (s *StateStore) PendingTotal() uint64 { return s.pendingSum }
+
+// CounterOffset returns the region offset of counter idx.
+func (s *StateStore) CounterOffset(idx int) int { return idx * 8 }
+
+// UpdateFlow counts one packet of the flow identified by key.
+func (s *StateStore) UpdateFlow(key wire.FlowKey) {
+	s.Update(key.Index(s.cfg.Counters), 1)
+}
+
+// Update adds delta to counter idx, issuing a Fetch-and-Add immediately
+// when the RNIC has room (and the batch threshold is met), accumulating
+// locally otherwise.
+func (s *StateStore) Update(idx int, delta uint64) {
+	if idx < 0 || idx >= s.cfg.Counters {
+		panic(fmt.Sprintf("core: counter index %d out of range", idx))
+	}
+	s.Stats.Updates += int64(delta)
+	s.reapTimeouts()
+	s.accumulate(idx, delta)
+	s.flush()
+}
+
+func (s *StateStore) accumulate(idx int, delta uint64) {
+	if _, exists := s.pending[idx]; !exists {
+		if len(s.pending) >= s.cfg.PendingSlots {
+			s.Stats.DroppedUpdates += int64(delta)
+			return
+		}
+		s.dirty = append(s.dirty, idx)
+	}
+	s.pending[idx] += delta
+	s.pendingSum += delta
+	s.Stats.Accumulated += int64(delta)
+}
+
+// flush issues FAAs for dirty counters while outstanding slots remain and
+// batch thresholds are met.
+func (s *StateStore) flush() {
+	for s.outstanding < s.cfg.MaxOutstanding && len(s.dirty) > 0 {
+		idx := s.dirty[0]
+		delta := s.pending[idx]
+		if delta == 0 {
+			// Signed updates cancelled out: nothing to flush. The map
+			// entry must go too, or later updates to this counter would
+			// accumulate without ever rejoining the dirty queue.
+			s.dirty = s.dirty[1:]
+			delete(s.pending, idx)
+			continue
+		}
+		if delta < s.cfg.Batch && s.outstanding > 0 {
+			// Not enough accumulated to justify an op while the NIC is
+			// busy; wait for more updates or a free pipeline.
+			return
+		}
+		psn, ok := s.ch.FetchAdd(s.CounterOffset(idx), delta)
+		if !ok {
+			return // memory-link egress full; retry on next event
+		}
+		s.dirty = s.dirty[1:]
+		delete(s.pending, idx)
+		s.pendingSum -= delta
+		s.outstanding++
+		s.inflight = append(s.inflight, faaRecord{psn: psn, sentAt: s.sw.Engine.Now()})
+		s.Stats.FAAIssued++
+	}
+}
+
+// reapTimeouts releases outstanding slots whose FAA never answered.
+func (s *StateStore) reapTimeouts() {
+	now := s.sw.Engine.Now()
+	for len(s.inflight) > 0 && now.Sub(s.inflight[0].sentAt) > s.cfg.OutstandingTimeout {
+		s.inflight = s.inflight[1:]
+		s.outstanding--
+		s.Stats.TimedOut++
+	}
+}
+
+// HandleResponse consumes atomic ACKs, freeing outstanding slots and
+// flushing accumulated updates.
+func (s *StateStore) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) {
+	ctx.Drop() // responses never leave the switch
+	if pkt.BTH.Opcode != wire.OpAtomicAcknowledge {
+		return
+	}
+	s.Stats.AcksSeen++
+	// Pop the matching in-flight record (cumulative: anything at or
+	// before the echoed PSN is answered or lost-and-answered-later).
+	for len(s.inflight) > 0 && !psnAfter24(s.inflight[0].psn, pkt.BTH.PSN) {
+		s.inflight = s.inflight[1:]
+		s.outstanding--
+	}
+	s.flush()
+}
+
+// psnAfter24 reports whether a is strictly after b in 24-bit PSN space.
+func psnAfter24(a, b uint32) bool {
+	return a != b && (a-b)&0xFFFFFF < 1<<23
+}

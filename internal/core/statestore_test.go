@@ -1,0 +1,256 @@
+package core
+
+import (
+	"testing"
+
+	"gem/internal/rnic"
+	"gem/internal/sim"
+	"gem/internal/switchsim"
+	"gem/internal/wire"
+)
+
+// stateBed: host0 sends to host1 through an L2-ish pipeline that also
+// counts every data packet in the remote state store.
+func stateBed(t *testing.T, nicCfg rnic.Config, ssCfg StateStoreConfig) (*bed, *StateStore) {
+	t.Helper()
+	b := newBed(t, 2, switchsim.Config{}, nicCfg)
+	ssCfg.fillDefaults()
+	ch := b.establish(t, ssCfg.Counters*8, rnic.PSNTolerant, false)
+	ss, err := NewStateStore(ch, ssCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.disp.Register(ch, ss)
+	b.sw.Pipeline = switchsim.PipelineFunc(func(ctx *switchsim.Context) {
+		if b.disp.Dispatch(ctx) {
+			return
+		}
+		if ctx.Pkt == nil || !ctx.Pkt.HasIPv4 {
+			ctx.Drop()
+			return
+		}
+		// Count, then forward to the other host (ports 0/1).
+		ss.UpdateFlow(wire.FlowOf(ctx.Pkt))
+		out := 1 - ctx.InPort
+		if out >= 0 && out < 2 {
+			ctx.Emit(out, ctx.Frame)
+		} else {
+			ctx.Drop()
+		}
+	})
+	return b, ss
+}
+
+// remoteCounterSum reads all remote counters back from server DRAM.
+func remoteCounterSum(b *bed, ss *StateStore) uint64 {
+	var sum uint64
+	for i := 0; i < ss.cfg.Counters; i++ {
+		v, err := b.memNIC.ReadCounter(ss.ch.RKey, ss.ch.Base+uint64(i*8))
+		if err == nil {
+			sum += v
+		}
+	}
+	return sum
+}
+
+func TestStateStoreCountsExactly(t *testing.T) {
+	b, ss := stateBed(t, rnic.Config{}, StateStoreConfig{Counters: 256})
+	const n = 500
+	for i := 0; i < n; i++ {
+		b.net.Ports(b.hosts[0])[0].Send(dataFrame(b.hosts[0], b.hosts[1], 256, uint16(i%8+1)))
+	}
+	b.net.Engine.Run()
+	total := remoteCounterSum(b, ss) + ss.PendingTotal()
+	if total != n {
+		t.Fatalf("remote+pending = %d, want %d (stats %+v)", total, n, ss.Stats)
+	}
+	// "the updated value is 100% accurate": with a drained network the
+	// pending side must also be flushed… unless batching held deltas
+	// back; with Batch=1 everything should have gone remote.
+	if remote := remoteCounterSum(b, ss); remote != n {
+		t.Fatalf("remote counters = %d, want %d (pending %d)", remote, n, ss.PendingTotal())
+	}
+	if b.hosts[1].Received != n {
+		t.Fatalf("e2e delivery suffered: %d/%d", b.hosts[1].Received, n)
+	}
+	if b.memHost.CPUOps != 0 {
+		t.Fatal("state store touched the server CPU")
+	}
+}
+
+func TestStateStoreOutstandingCapRespected(t *testing.T) {
+	// Slow atomics: the cap must hold while updates accumulate locally.
+	b, ss := stateBed(t, rnic.Config{AtomicOpsPerSec: 1e5},
+		StateStoreConfig{Counters: 64, MaxOutstanding: 4})
+	maxSeen := 0
+	for i := 0; i < 300; i++ {
+		b.net.Ports(b.hosts[0])[0].Send(dataFrame(b.hosts[0], b.hosts[1], 1500, uint16(i%16+1)))
+	}
+	// Sample outstanding during the run.
+	b.net.Engine.Ticker(1*sim.Microsecond, func() bool {
+		if ss.Outstanding() > maxSeen {
+			maxSeen = ss.Outstanding()
+		}
+		return b.net.Engine.Pending() > 1
+	})
+	b.net.Engine.Run()
+	if maxSeen > 4 {
+		t.Fatalf("outstanding peaked at %d, cap 4", maxSeen)
+	}
+	if ss.Stats.Accumulated == 0 {
+		t.Fatal("nothing accumulated despite saturation")
+	}
+	// Accuracy invariant holds even under saturation.
+	if got := remoteCounterSum(b, ss) + ss.PendingTotal(); got != 300 {
+		t.Fatalf("remote+pending = %d, want 300", got)
+	}
+}
+
+func TestStateStoreAccumulationCoalesces(t *testing.T) {
+	// With a saturated NIC, many updates to the same counter must merge
+	// into few FAAs carrying accumulated deltas.
+	b, ss := stateBed(t, rnic.Config{AtomicOpsPerSec: 2e5},
+		StateStoreConfig{Counters: 8, MaxOutstanding: 2})
+	const n = 400
+	for i := 0; i < n; i++ {
+		b.net.Ports(b.hosts[0])[0].Send(dataFrame(b.hosts[0], b.hosts[1], 1500, 7)) // one flow
+	}
+	b.net.Engine.Run()
+	if ss.Stats.FAAIssued >= n {
+		t.Fatalf("FAAs = %d for %d updates: no coalescing", ss.Stats.FAAIssued, n)
+	}
+	if got := remoteCounterSum(b, ss); got != n {
+		t.Fatalf("remote sum = %d, want %d", got, n)
+	}
+}
+
+func TestStateStoreBatching(t *testing.T) {
+	// Batch=8: FAAs carry ≥8 per op once the pipe is busy, cutting the
+	// message count roughly 8x (E8a's mechanism).
+	b, ss := stateBed(t, rnic.Config{}, StateStoreConfig{Counters: 4, Batch: 8})
+	const n = 320
+	for i := 0; i < n; i++ {
+		b.net.Ports(b.hosts[0])[0].Send(dataFrame(b.hosts[0], b.hosts[1], 1500, 3))
+	}
+	b.net.Engine.Run()
+	if ss.Stats.FAAIssued > n/4 {
+		t.Fatalf("FAAs = %d for %d updates at batch 8", ss.Stats.FAAIssued, n)
+	}
+	if got := remoteCounterSum(b, ss) + ss.PendingTotal(); got != n {
+		t.Fatalf("remote+pending = %d, want %d", got, n)
+	}
+}
+
+func TestStateStorePendingTableOverflowCounted(t *testing.T) {
+	b, ss := stateBed(t, rnic.Config{AtomicOpsPerSec: 1e4},
+		StateStoreConfig{Counters: 1024, MaxOutstanding: 1, PendingSlots: 4})
+	// Many distinct flows, saturated NIC, 4 pending slots: overflow.
+	for i := 0; i < 200; i++ {
+		b.net.Ports(b.hosts[0])[0].Send(dataFrame(b.hosts[0], b.hosts[1], 1500, uint16(i+1)))
+	}
+	b.net.Engine.Run()
+	if ss.Stats.DroppedUpdates == 0 {
+		t.Fatal("no dropped updates despite 4 pending slots")
+	}
+	// Conservation: counted = remote + pending + dropped.
+	got := remoteCounterSum(b, ss) + ss.PendingTotal() + uint64(ss.Stats.DroppedUpdates)
+	if got != 200 {
+		t.Fatalf("conservation broken: %d != 200", got)
+	}
+}
+
+func TestStateStoreDirectUpdateByIndex(t *testing.T) {
+	b, ss := stateBed(t, rnic.Config{}, StateStoreConfig{Counters: 16})
+	ss.Update(3, 10)
+	ss.Update(3, 5)
+	b.net.Engine.Run()
+	v, err := b.memNIC.ReadCounter(ss.ch.RKey, ss.ch.Base+3*8)
+	if err != nil || v != 15 {
+		t.Fatalf("counter[3] = %d (%v), want 15", v, err)
+	}
+}
+
+func TestStateStoreIndexOutOfRangePanics(t *testing.T) {
+	_, ss := stateBed(t, rnic.Config{}, StateStoreConfig{Counters: 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ss.Update(4, 1)
+}
+
+func TestStateStoreConfigValidation(t *testing.T) {
+	b := newBed(t, 1, switchsim.Config{}, rnic.Config{})
+	ch := b.establish(t, 64, rnic.PSNTolerant, false)
+	if _, err := NewStateStore(ch, StateStoreConfig{Counters: 0}); err == nil {
+		t.Fatal("zero counters accepted")
+	}
+	if _, err := NewStateStore(ch, StateStoreConfig{Counters: 1000}); err == nil {
+		t.Fatal("counters beyond region accepted")
+	}
+}
+
+func TestStateStoreTimeoutReapsLostFAA(t *testing.T) {
+	// Deliver updates with a dispatcher that eats atomic ACKs: the
+	// outstanding tracker must reap and keep making progress.
+	b := newBed(t, 2, switchsim.Config{}, rnic.Config{})
+	ch := b.establish(t, 64*8, rnic.PSNTolerant, false)
+	ss, err := NewStateStore(ch, StateStoreConfig{
+		Counters: 64, MaxOutstanding: 2, OutstandingTimeout: 10 * sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No dispatcher registration: ACKs are dropped by the pipeline.
+	b.sw.Pipeline = switchsim.PipelineFunc(func(ctx *switchsim.Context) { ctx.Drop() })
+	ss.Update(0, 1)
+	ss.Update(1, 1)
+	ss.Update(2, 1) // accumulates: outstanding is full
+	if ss.Outstanding() != 2 {
+		t.Fatalf("outstanding = %d", ss.Outstanding())
+	}
+	b.net.Engine.RunFor(50 * sim.Microsecond)
+	ss.Update(3, 1) // triggers reap, then flush of pending
+	if ss.Stats.TimedOut == 0 {
+		t.Fatal("lost FAAs never timed out")
+	}
+	if ss.Outstanding() > 2 {
+		t.Fatalf("outstanding = %d after reap", ss.Outstanding())
+	}
+}
+
+// Property-ish sweep: conservation of counts across random flow mixes.
+func TestStateStoreConservationSweep(t *testing.T) {
+	for _, flows := range []int{1, 3, 17, 64} {
+		b, ss := stateBed(t, rnic.Config{AtomicOpsPerSec: 5e5},
+			StateStoreConfig{Counters: 128})
+		const n = 300
+		for i := 0; i < n; i++ {
+			b.net.Ports(b.hosts[0])[0].Send(dataFrame(b.hosts[0], b.hosts[1], 512, uint16(i%flows+1)))
+		}
+		b.net.Engine.Run()
+		got := remoteCounterSum(b, ss) + ss.PendingTotal() + uint64(ss.Stats.DroppedUpdates)
+		if got != n {
+			t.Fatalf("flows=%d: conservation %d != %d (stats %+v)", flows, got, n, ss.Stats)
+		}
+	}
+}
+
+func TestStateStoreSignedCancellationThenFlush(t *testing.T) {
+	// Regression: +1 then -1 cancels the pending delta; a later +1 to the
+	// same counter must still flush (the zeroed map entry must not strand
+	// the counter outside the dirty queue).
+	b, ss := stateBed(t, rnic.Config{AtomicOpsPerSec: 1e5},
+		StateStoreConfig{Counters: 8, MaxOutstanding: 1})
+	ss.Update(0, 1) // occupies the single outstanding slot
+	ss.Update(3, 1)
+	ss.Update(3, ^uint64(0)) // -1: cancels while parked
+	b.net.Engine.Run()
+	ss.Update(3, 5)
+	b.net.Engine.Run()
+	v, err := b.memNIC.ReadCounter(ss.ch.RKey, ss.ch.Base+3*8)
+	if err != nil || v != 5 {
+		t.Fatalf("counter[3] = %d (%v), want 5", v, err)
+	}
+}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"fmt"
+
+	"gem/internal/wire"
+)
+
+// E7Config parameterizes the §4 overhead accounting reproduction.
+type E7Config struct {
+	// Sizes are the original packet sizes for the bandwidth-expansion
+	// rows.
+	Sizes []int
+}
+
+// DefaultE7Config returns the full-experiment settings.
+func DefaultE7Config() E7Config {
+	return E7Config{Sizes: []int{64, 128, 256, 512, 1024, 1500}}
+}
+
+// E7Result carries the per-class header overheads.
+type E7Result struct {
+	V2Transport, V1Transport  int
+	WriteExt, ReadExt, FAAExt int
+	ExpansionV2, ExpansionV1  []float64
+}
+
+// RunE7 reproduces the §4 overhead numbers from the wire codecs and checks
+// them against actually-encoded frames.
+func RunE7(cfg E7Config) (*Table, E7Result) {
+	res := E7Result{
+		V2Transport: wire.TransportOverhead(wire.RoCEv2),
+		V1Transport: wire.TransportOverhead(wire.RoCEv1),
+		WriteExt:    wire.ExtHeaderOverhead(wire.OpClassWrite),
+		ReadExt:     wire.ExtHeaderOverhead(wire.OpClassRead),
+		FAAExt:      wire.ExtHeaderOverhead(wire.OpClassFetchAdd),
+	}
+	t := &Table{
+		ID:      "E7",
+		Title:   "§4 overhead: RoCE header bytes and bandwidth expansion",
+		Columns: []string{"quantity", "bytes", "paper"},
+	}
+	t.AddRow("RoCEv2 routing+transport (IP+UDP+BTH)", di(int64(res.V2Transport)), "40")
+	t.AddRow("RoCEv1 routing+transport (GRH+BTH)", di(int64(res.V1Transport)), "52")
+	t.AddRow("WRITE/READ extended header (RETH)", di(int64(res.WriteExt)), "16")
+	t.AddRow("Fetch-and-Add extended header (AtomicETH)", di(int64(res.FAAExt)), "28")
+	t.AddRow("ICRC trailer (excluded by paper's count)", di(int64(wire.ICRCLen)), "-")
+
+	// Verify the accounting against real encoded frames.
+	p := &wire.RoCEParams{DestQP: 1}
+	if got := len(wire.BuildFetchAdd(p, 0, 1, 1)); got != wire.EthernetLen+res.V2Transport+res.FAAExt+wire.ICRCLen {
+		panic(fmt.Sprintf("E7: encoded FAA frame %dB disagrees with accounting", got))
+	}
+	if got := len(wire.BuildReadRequest(p, 0, 1, 64)); got != wire.EthernetLen+res.V2Transport+res.ReadExt+wire.ICRCLen {
+		panic(fmt.Sprintf("E7: encoded READ frame %dB disagrees with accounting", got))
+	}
+
+	t2rows := 0
+	for _, size := range cfg.Sizes {
+		e2 := wire.BandwidthExpansion(wire.RoCEv2, size)
+		e1 := wire.BandwidthExpansion(wire.RoCEv1, size)
+		res.ExpansionV2 = append(res.ExpansionV2, e2)
+		res.ExpansionV1 = append(res.ExpansionV1, e1)
+		t.AddRow(fmt.Sprintf("expansion carrying %dB frame (v2 / v1)", size),
+			fmt.Sprintf("%.3fx / %.3fx", e2, e1), "-")
+		t2rows++
+	}
+	t.AddNote("expansion = wire bytes of the encapsulating WRITE / native frame, framing included")
+	return t, res
+}

@@ -1,0 +1,291 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"gem/internal/sim"
+)
+
+// The harness tests assert the *shapes* the paper reports — who wins, by
+// roughly what factor, where the knees are — at reduced settings so the
+// whole suite stays fast.
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("n%d", 1)
+	s := tab.String()
+	for _, want := range []string{"== X: demo ==", "a", "bb", "note: n1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func quickE1() E1Config {
+	cfg := DefaultE1Config()
+	cfg.Window = 1 * sim.Millisecond
+	cfg.SweepStart, cfg.SweepStep = 33, 1
+	cfg.DrainFrames = 2000
+	return cfg
+}
+
+func TestE1Shapes(t *testing.T) {
+	_, res := RunE1(quickE1())
+	// Store path lands near the NIC write ceiling, in the mid-30s.
+	if res.StoreMaxGbps < 30 || res.StoreMaxGbps > 38 {
+		t.Fatalf("store max = %.1f Gbps, want mid-30s", res.StoreMaxGbps)
+	}
+	// Load+forward beats store (paper: 37.4 > 34.1).
+	if res.ForwardGbps <= res.StoreMaxGbps {
+		t.Fatalf("forward %.1f <= store %.1f; paper has forward faster",
+			res.ForwardGbps, res.StoreMaxGbps)
+	}
+	// Native baseline is at least as fast as the primitive's store path.
+	if res.NativeWriteGbps < res.StoreMaxGbps-0.5 {
+		t.Fatalf("native write %.1f clearly below store %.1f",
+			res.NativeWriteGbps, res.StoreMaxGbps)
+	}
+	if res.NativeReadGbps < 35 {
+		t.Fatalf("native read = %.1f", res.NativeReadGbps)
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	cfg := DefaultE2Config()
+	cfg.Rounds = 11
+	_, points := RunE2(cfg)
+	if len(points) != len(cfg.Sizes) {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.LookupUs <= p.BaselineUs {
+			t.Fatalf("%dB: primitive %.2fµs not above baseline %.2fµs",
+				p.Size, p.LookupUs, p.BaselineUs)
+		}
+		// Paper: 1–2 µs extra; our calibration sits slightly above. The
+		// shape bound: small, single-digit µs, roughly flat.
+		if p.ExtraLatencyUs < 0.5 || p.ExtraLatencyUs > 5 {
+			t.Fatalf("%dB: extra latency %.2fµs out of band", p.Size, p.ExtraLatencyUs)
+		}
+	}
+	// Roughly flat: spread across sizes well under the paper's band.
+	if spread := points[len(points)-1].ExtraLatencyUs - points[0].ExtraLatencyUs; spread > 1.5 {
+		t.Fatalf("extra-latency spread %.2fµs; should be nearly flat", spread)
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	cfg := DefaultE3Config()
+	cfg.Sizes = []int{64, 512}
+	cfg.Window = 1 * sim.Millisecond
+	_, points := RunE3(cfg)
+	for _, p := range points {
+		if !p.CounterOK {
+			t.Fatalf("%dB: counter not exact", p.Size)
+		}
+		// ≈2.1 Gbps, flat: the RNIC atomic rate cap.
+		if p.FAALinkGbps < 1.6 || p.FAALinkGbps > 2.6 {
+			t.Fatalf("%dB: FAA bandwidth %.2f Gbps, want ≈2.1", p.Size, p.FAALinkGbps)
+		}
+		// No end-to-end throughput degradation.
+		if diff := p.E2EGbps - p.BaselineGbps; diff < -0.5 || diff > 0.5 {
+			t.Fatalf("%dB: e2e %.1f vs baseline %.1f", p.Size, p.E2EGbps, p.BaselineGbps)
+		}
+	}
+	if d := points[1].FAALinkGbps - points[0].FAALinkGbps; d > 0.3 || d < -0.3 {
+		t.Fatalf("FAA bandwidth not flat across sizes: %.2f vs %.2f",
+			points[0].FAALinkGbps, points[1].FAALinkGbps)
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	cfg := DefaultE4Config()
+	cfg.BurstMBs = []int{25}
+	cfg.RegionMB = 32
+	_, points := RunE4(cfg)
+	p := points[0]
+	// Baseline: most of the 25MB burst beyond ~12MB buffer drops...
+	if p.BaselineLossRate < 0.25 {
+		t.Fatalf("baseline loss %.2f too low for a 25MB burst", p.BaselineLossRate)
+	}
+	// ...and the first drop lands around the paper's 0.34 ms arithmetic.
+	ms := p.BaselineFirstDrop.Seconds() * 1e3
+	if ms < 0.25 || ms > 0.55 {
+		t.Fatalf("first drop at %.3f ms, paper arithmetic says ≈0.34", ms)
+	}
+	// The primitive absorbs the burst losslessly.
+	if p.PrimitiveLossRate != 0 {
+		t.Fatalf("primitive loss %.4f, want 0", p.PrimitiveLossRate)
+	}
+	if p.PrimitivePFCLoss != 0 {
+		t.Fatalf("primitive+PFC loss %.4f, want 0", p.PrimitivePFCLoss)
+	}
+	if p.SpilledFrames == 0 {
+		t.Fatal("nothing spilled: scenario did not engage the ring")
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	cfg := DefaultE5Config()
+	cfg.Mappings, cfg.Packets, cfg.CacheEntries = 50_000, 10_000, 4096
+	_, res := RunE5(cfg)
+	if res.ServerCPUOps != 0 {
+		t.Fatalf("server CPU = %d", res.ServerCPUOps)
+	}
+	if res.BaselineCPUOps == 0 {
+		t.Fatal("baseline slow path cost no CPU?")
+	}
+	// Tail latency: remote DRAM beats the CPU slow path by a wide margin.
+	if res.PrimitiveP99Us >= res.BaselineP99Us/2 {
+		t.Fatalf("primitive p99 %.1fµs vs baseline %.1fµs: no tail win",
+			res.PrimitiveP99Us, res.BaselineP99Us)
+	}
+	// Both designs miss the SRAM cache at a similar rate.
+	if res.PrimitiveRemoteFrac < 0.02 || res.BaselineSlowPathFrac < 0.02 {
+		t.Fatal("workload never missed: cache too large for the test")
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	cfg := DefaultE6Config()
+	cfg.Packets = 15_000
+	_, res := RunE6(cfg)
+	if res.ServerCPUOps != 0 {
+		t.Fatalf("server CPU = %d", res.ServerCPUOps)
+	}
+	if res.Recall < 0.9 {
+		t.Fatalf("recall %.2f", res.Recall)
+	}
+	if res.Precision < 0.9 {
+		t.Fatalf("precision %.2f", res.Precision)
+	}
+	if res.MeanRelErrTop > 0.1 {
+		t.Fatalf("mean relative error %.3f", res.MeanRelErrTop)
+	}
+}
+
+func TestE7ExactNumbers(t *testing.T) {
+	_, res := RunE7(DefaultE7Config())
+	if res.V2Transport != 40 || res.V1Transport != 52 ||
+		res.WriteExt != 16 || res.ReadExt != 16 || res.FAAExt != 28 {
+		t.Fatalf("overhead numbers diverged from the paper: %+v", res)
+	}
+	for i := 1; i < len(res.ExpansionV2); i++ {
+		if res.ExpansionV2[i] >= res.ExpansionV2[i-1] {
+			t.Fatal("v2 expansion not decreasing with size")
+		}
+	}
+}
+
+func TestE8aShape(t *testing.T) {
+	cfg := DefaultE8aConfig()
+	cfg.Window = 1 * sim.Millisecond
+	cfg.Batches = []uint64{1, 128}
+	_, points := RunE8a(cfg)
+	if points[1].FAAIssued >= points[0].FAAIssued {
+		t.Fatalf("batching did not reduce ops: %d vs %d",
+			points[0].FAAIssued, points[1].FAAIssued)
+	}
+	if points[1].LinkGbps >= points[0].LinkGbps {
+		t.Fatal("batching did not reduce link bandwidth")
+	}
+	if points[1].MeanStaleness <= points[0].MeanStaleness {
+		t.Fatal("batching should increase staleness")
+	}
+	for _, p := range points {
+		if !p.Exact {
+			t.Fatalf("batch %d lost counts", p.Batch)
+		}
+	}
+}
+
+func TestE8bShape(t *testing.T) {
+	cfg := E8bConfig{Sizes: []int{64, 1500}, Packets: 60}
+	_, points := RunE8b(cfg)
+	for _, p := range points {
+		if p.RecircLinkBytes >= p.DepositLinkBytes {
+			t.Fatalf("%dB: recirculation did not save memory-link bytes", p.Size)
+		}
+	}
+	// The saving grows with packet size.
+	save0 := points[0].DepositLinkBytes - points[0].RecircLinkBytes
+	save1 := points[1].DepositLinkBytes - points[1].RecircLinkBytes
+	if save1 <= save0 {
+		t.Fatalf("bandwidth saving did not grow with size: %.0f vs %.0f", save0, save1)
+	}
+}
+
+func TestE8cShape(t *testing.T) {
+	cfg := E8cConfig{LossRates: []float64{0, 0.02}, Updates: 600}
+	_, points := RunE8c(cfg)
+	for _, p := range points {
+		if p.ReliableError != 0 {
+			t.Fatalf("loss %.3f: reliable error %.4f, want exactly 0", p.LossRate, p.ReliableError)
+		}
+	}
+	if points[0].UnreliableError != 0 {
+		t.Fatalf("0%% loss: fire-and-forget error %.4f, want 0", points[0].UnreliableError)
+	}
+	if points[1].UnreliableError < 0.005 {
+		t.Fatalf("2%% loss: fire-and-forget error %.4f suspiciously low", points[1].UnreliableError)
+	}
+	if points[1].Retransmits == 0 {
+		t.Fatal("no retransmits under loss")
+	}
+}
+
+func TestE8dShape(t *testing.T) {
+	cfg := DefaultE8dConfig()
+	cfg.Window = 1 * sim.Millisecond
+	cfg.CapsGbps = []float64{0, 1}
+	_, points := RunE8d(cfg)
+	if points[1].LinkGbps >= points[0].LinkGbps {
+		t.Fatalf("cap did not reduce link bandwidth: %.2f vs %.2f",
+			points[0].LinkGbps, points[1].LinkGbps)
+	}
+	if points[1].LinkGbps > 1.3 {
+		t.Fatalf("1 Gbps cap leaked %.2f Gbps", points[1].LinkGbps)
+	}
+	for _, p := range points {
+		if !p.Exact {
+			t.Fatalf("cap %.1f lost counts", p.CapGbps)
+		}
+	}
+	if points[1].CapDrops == 0 {
+		t.Fatal("cap never engaged")
+	}
+}
+
+func TestE8eShape(t *testing.T) {
+	cfg := DefaultE8eConfig()
+	cfg.Window = 8 * sim.Millisecond
+	_, points := RunE8e(cfg)
+	fifo, prio := points[0], points[1]
+	if prio.FAAIssued < fifo.FAAIssued*3/2 {
+		t.Fatalf("priority gained too little: %d vs %d FAAs", prio.FAAIssued, fifo.FAAIssued)
+	}
+	// Background throughput barely pays for it (FAA traffic is ~2 Gbps).
+	if fifo.BackgroundGbps-prio.BackgroundGbps > 2.5 {
+		t.Fatalf("priority cost background %.1f Gbps", fifo.BackgroundGbps-prio.BackgroundGbps)
+	}
+}
+
+func TestE8fShape(t *testing.T) {
+	cfg := DefaultE8fConfig()
+	cfg.Window = 6 * sim.Millisecond
+	cfg.CrashAt = 2 * sim.Millisecond
+	_, res := RunE8f(cfg)
+	if res.DetectionUs <= 0 || res.DetectionUs > 600 {
+		t.Fatalf("detection = %.0f µs with a 100 µs heartbeat", res.DetectionUs)
+	}
+	if res.OnPrimary == 0 || res.OnStandby == 0 {
+		t.Fatalf("counts did not span the failover: primary=%d standby=%d",
+			res.OnPrimary, res.OnStandby)
+	}
+	// Only in-flight ops may vanish: a small constant, not a rate.
+	if res.LostInFlight > 64 {
+		t.Fatalf("lost %d updates across failover", res.LostInFlight)
+	}
+}

@@ -1,0 +1,46 @@
+package netsim
+
+import (
+	"gem/internal/stats"
+	"gem/internal/wire"
+)
+
+// Host is a plain server with a software network stack: every received
+// frame costs CPU (the thing the paper's design avoids for memory service).
+// Traffic generators and sink endpoints are Hosts.
+type Host struct {
+	name string
+	MAC  wire.MAC
+	IP   wire.IP4
+
+	// Handler, when set, is invoked for every received frame.
+	Handler func(port *Port, frame []byte)
+
+	// CPUOps counts software packet handling operations. The harnesses
+	// assert this stays zero on memory servers after initialization.
+	CPUOps int64
+	// Received counts delivered frames; Loss tracks sink accounting.
+	Received int64
+	Loss     stats.LossStats
+}
+
+// NewHost creates a host with addresses derived from id (1-based).
+func NewHost(name string, id uint32) *Host {
+	return &Host{
+		name: name,
+		MAC:  wire.MACFromUint64(0x02_00_00_000000 | uint64(id)),
+		IP:   wire.IP4FromUint32(0x0a000000 | id), // 10.x.y.z
+	}
+}
+
+// Name implements Device.
+func (h *Host) Name() string { return h.name }
+
+// Receive implements Device: software handling, costing CPU.
+func (h *Host) Receive(port *Port, frame []byte) {
+	h.CPUOps++
+	h.Received++
+	if h.Handler != nil {
+		h.Handler(port, frame)
+	}
+}

@@ -1,0 +1,125 @@
+// Package rnic models a commodity RDMA NIC speaking RoCEv2, the device the
+// paper's switch talks to: memory regions protected by rkeys, queue pairs
+// with PSN state, and a one-sided-operation engine that executes RDMA
+// WRITE / READ / atomic Fetch-and-Add entirely on the NIC — the host CPU is
+// never involved, which is the property the paper's architecture rests on.
+//
+// The model is calibrated to a Mellanox ConnectX-3 Pro class 40 GbE part
+// (the paper's testbed NIC): finite inbound processing capacity for WRITEs,
+// finite READ-response generation rate, and a hard atomic-operation rate
+// ceiling. Exceeding the ceilings overflows the receive ring and drops
+// requests, reproducing the "RDMA requests were occasionally dropped at the
+// NIC" behaviour the paper reports beyond 34.1 Gbps.
+package rnic
+
+import (
+	"gem/internal/sim"
+)
+
+// Config holds the NIC's performance envelope and protocol parameters.
+type Config struct {
+	// MTU is the path MTU used to segment READ responses and requester
+	// WRITEs, in bytes of RDMA payload per packet.
+	MTU int
+	// WritePayloadBps caps the rate at which inbound WRITE payload can be
+	// committed to host memory (PCIe/DMA path), bits per second.
+	WritePayloadBps float64
+	// ReadPayloadBps caps the rate at which READ response payload can be
+	// fetched from host memory, bits per second.
+	ReadPayloadBps float64
+	// AtomicOpsPerSec caps atomic (Fetch-and-Add / Compare-and-Swap)
+	// execution; CX-3-class parts sustain on the order of 1e6/s.
+	AtomicOpsPerSec float64
+	// ProcessingDelay is the fixed per-operation latency through the NIC.
+	ProcessingDelay sim.Duration
+	// RxRing bounds the number of requests queued for execution; arrivals
+	// beyond it are dropped (and counted), like a real NIC's RX ring.
+	RxRing int
+	// EnablePFC makes the NIC emit 802.1Qbb pause frames when an RX ring
+	// nears capacity and resume frames when it drains — the §7 mitigation
+	// for RDMA packet drops. Thresholds derive from RxRing (pause at 3/4,
+	// resume at 1/4).
+	EnablePFC bool
+}
+
+// DefaultConfig returns the CX-3 Pro-like calibration used by the
+// experiments (see DESIGN.md §5 for the derivation from the paper's
+// numbers).
+func DefaultConfig() Config {
+	return Config{
+		MTU:             1024,
+		WritePayloadBps: 34.5e9,
+		ReadPayloadBps:  37.8e9,
+		AtomicOpsPerSec: 1.29e6,
+		ProcessingDelay: 600 * sim.Nanosecond,
+		RxRing:          512,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.MTU == 0 {
+		c.MTU = d.MTU
+	}
+	if c.WritePayloadBps == 0 {
+		c.WritePayloadBps = d.WritePayloadBps
+	}
+	if c.ReadPayloadBps == 0 {
+		c.ReadPayloadBps = d.ReadPayloadBps
+	}
+	if c.AtomicOpsPerSec == 0 {
+		c.AtomicOpsPerSec = d.AtomicOpsPerSec
+	}
+	if c.ProcessingDelay == 0 {
+		c.ProcessingDelay = d.ProcessingDelay
+	}
+	if c.RxRing == 0 {
+		c.RxRing = d.RxRing
+	}
+}
+
+// Region is a registered memory region: a chunk of the host's DRAM exposed
+// for remote access under an rkey.
+type Region struct {
+	RKey uint32
+	Base uint64 // virtual address of the first byte
+	Data []byte // the backing "DRAM"
+}
+
+// Contains reports whether [va, va+n) lies inside the region.
+func (r *Region) Contains(va uint64, n int) bool {
+	if va < r.Base {
+		return false
+	}
+	off := va - r.Base
+	return off <= uint64(len(r.Data)) && uint64(n) <= uint64(len(r.Data))-off
+}
+
+// Slice returns the backing bytes for [va, va+n). Caller must have checked
+// Contains.
+func (r *Region) Slice(va uint64, n int) []byte {
+	off := va - r.Base
+	return r.Data[off : off+uint64(uint(n))]
+}
+
+// Stats aggregates the NIC's observable behaviour for the harnesses.
+type Stats struct {
+	ExecWrites      int64 // WRITE messages committed
+	ExecReads       int64 // READ requests served
+	ExecAtomics     int64 // atomics executed
+	WriteBytes      int64 // payload bytes committed by WRITEs
+	ReadBytes       int64 // payload bytes returned by READs
+	RxRingDrops     int64 // requests dropped at a full RX ring
+	AccessErrors    int64 // rkey/bounds failures (NAK remote access)
+	SeqGaps         int64 // PSN gaps observed (lost requests upstream)
+	DupRequests     int64 // stale duplicates discarded
+	BadICRC         int64 // frames dropped for ICRC mismatch
+	AcksSent        int64
+	NaksSent        int64
+	ResponsesSent   int64 // READ response + atomic ack packets
+	MalformedFrames int64
+	PFCPauses       int64 // pause frames emitted (EnablePFC)
+	PFCResumes      int64 // resume frames emitted
+	// DroppedWhileFailed counts frames that arrived at a crashed server.
+	DroppedWhileFailed int64
+}

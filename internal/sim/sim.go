@@ -1,0 +1,213 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All components of the testbed (links, NICs, switches, traffic generators)
+// schedule work on a single Engine. Time is a virtual nanosecond clock; the
+// engine executes events in (time, sequence) order, so two runs with the same
+// seed replay identically. A single goroutine owns an Engine; none of the
+// methods are safe for concurrent use.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It mirrors a subset of
+// time.Duration so call sites read naturally (3*sim.Microsecond).
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds reports d as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Std converts d to a time.Duration for formatting.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+func (d Duration) String() string { return d.Std().String() }
+
+// Seconds reports t as floating-point seconds since the start of the run.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. Callbacks run exactly once.
+type Event struct {
+	at    Time
+	seq   uint64
+	index int // heap index; -1 once popped or cancelled
+	fn    func()
+}
+
+// Cancelled reports whether the event was cancelled or has already fired.
+func (e *Event) Cancelled() bool { return e.index < 0 && e.fn == nil }
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation core: a virtual clock plus an event queue.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	rng     *rand.Rand
+	stopped bool
+
+	// Executed counts events that have run, for diagnostics and tests.
+	Executed uint64
+}
+
+// NewEngine returns an engine whose clock reads zero and whose random source
+// is seeded with seed (deterministic across runs).
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's seeded random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn after delay. A negative delay is an error in the caller;
+// Schedule panics to surface it immediately.
+func (e *Engine) Schedule(delay Duration, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	return e.ScheduleAt(e.now.Add(delay), fn)
+}
+
+// ScheduleAt runs fn at the absolute virtual time at, which must not be in
+// the past.
+func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event func")
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.fn = nil
+	ev.index = -1
+}
+
+// Pending reports the number of events waiting to run.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Stop makes the current Run/RunUntil call return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event and returns true, or
+// returns false if the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	if ev.at < e.now {
+		panic("sim: time went backwards")
+	}
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	e.Executed++
+	fn()
+	return true
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= deadline, then advances the clock to
+// deadline (even if the queue still holds later events).
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor executes events for d of virtual time from now.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Ticker invokes fn every period until fn returns false or the engine stops.
+// The first invocation happens after one period.
+func (e *Engine) Ticker(period Duration, fn func() bool) {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.Schedule(period, tick)
+		}
+	}
+	e.Schedule(period, tick)
+}

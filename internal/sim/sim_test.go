@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30ns", e.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		e.Schedule(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events ran out of insertion order at %d: %v", i, order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var hits []Time
+	e.Schedule(10, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("nested schedule produced %v, want [10 15]", hits)
+	}
+}
+
+func TestScheduleZeroDelayRunsAtSameTime(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(7, func() {
+		e.Schedule(0, func() {
+			if e.Now() != 7 {
+				t.Errorf("zero-delay event at %v, want 7", e.Now())
+			}
+			ran = true
+		})
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("zero-delay event never ran")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	ev := e.Schedule(10, func() { ran = true })
+	e.Cancel(ev)
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("event does not report cancelled")
+	}
+	// Double-cancel and cancel-nil must be safe.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.Schedule(Duration(10+i), func() { order = append(order, i) })
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[8])
+	e.Run()
+	want := []int{0, 1, 2, 3, 5, 6, 7, 9}
+	if len(order) != len(want) {
+		t.Fatalf("got %v want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("got %v want %v", order, want)
+		}
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(100, func() {})
+	e.Schedule(500, func() {})
+	e.RunUntil(200)
+	if e.Now() != 200 {
+		t.Fatalf("clock = %v after RunUntil(200)", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Now() != 500 {
+		t.Fatalf("clock = %v, want 500", e.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Ticker(10, func() bool { count++; return true })
+	e.RunFor(105)
+	if count != 10 {
+		t.Fatalf("ticker fired %d times in 105ns at period 10, want 10", count)
+	}
+	if e.Now() != 105 {
+		t.Fatalf("clock = %v, want 105", e.Now())
+	}
+}
+
+func TestTickerStops(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Ticker(10, func() bool {
+		count++
+		return count < 3
+	})
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ticker fired %d times, want 3", count)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	ran2 := false
+	e.Schedule(10, func() { e.Stop() })
+	e.Schedule(20, func() { ran2 = true })
+	e.Run()
+	if ran2 {
+		t.Fatal("event after Stop ran")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	NewEngine(1).Schedule(-1, func() {})
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.ScheduleAt(50, func() {})
+	})
+	e.Run()
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine(42)
+		var times []Time
+		// Random-ish workload driven by the seeded RNG.
+		var spawn func()
+		spawn = func() {
+			times = append(times, e.Now())
+			if len(times) < 200 {
+				e.Schedule(Duration(e.Rand().Intn(100)+1), spawn)
+				if e.Rand().Intn(3) == 0 {
+					e.Schedule(Duration(e.Rand().Intn(50)+1), func() { times = append(times, e.Now()) })
+				}
+			}
+		}
+		e.Schedule(1, spawn)
+		e.Run()
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	if Second.Seconds() != 1.0 {
+		t.Fatalf("Second.Seconds() = %v", Second.Seconds())
+	}
+	if (2 * Microsecond).String() != "2µs" {
+		t.Fatalf("String = %q", (2 * Microsecond).String())
+	}
+	tm := Time(1500)
+	if tm.Add(500) != 2000 {
+		t.Fatal("Time.Add broken")
+	}
+	if tm.Sub(500) != 1000 {
+		t.Fatal("Time.Sub broken")
+	}
+}
+
+// Property: executing any batch of events never decreases the clock, and
+// executes exactly len(batch) events.
+func TestPropClockMonotone(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(7)
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			e.Schedule(Duration(d), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok && e.Executed == uint64(len(delays))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Ticker fires floor(horizon/period) times.
+func TestPropTickerCount(t *testing.T) {
+	f := func(p uint8, h uint16) bool {
+		period := Duration(p%100) + 1
+		horizon := Duration(h)
+		e := NewEngine(7)
+		n := 0
+		e.Ticker(period, func() bool { n++; return true })
+		e.RunFor(horizon)
+		return n == int(horizon/period)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Stress: a large churn of schedules and cancels keeps the heap consistent
+// and the clock monotone.
+func TestHeapChurnStress(t *testing.T) {
+	e := NewEngine(99)
+	var live []*Event
+	executed := 0
+	for i := 0; i < 5000; i++ {
+		d := Duration(e.Rand().Intn(1000) + 1)
+		live = append(live, e.Schedule(d, func() { executed++ }))
+		if len(live) > 100 && e.Rand().Intn(2) == 0 {
+			idx := e.Rand().Intn(len(live))
+			e.Cancel(live[idx])
+			live = append(live[:idx], live[idx+1:]...)
+		}
+		if e.Rand().Intn(10) == 0 {
+			e.Step()
+		}
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after Run", e.Pending())
+	}
+	if executed == 0 {
+		t.Fatal("nothing executed")
+	}
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gem/internal/sim"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Median() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Stddev() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{5, 1, 3, 2, 4} {
+		h.Add(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Median() != 3 {
+		t.Fatalf("median = %d", h.Median())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if h.Mean() != 3 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if got := h.Stddev(); math.Abs(got-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("stddev = %v", got)
+	}
+}
+
+func TestHistogramPercentileInterpolation(t *testing.T) {
+	var h Histogram
+	h.Add(0)
+	h.Add(100)
+	if got := h.Percentile(50); got != 50 {
+		t.Fatalf("p50 of {0,100} = %d, want 50", got)
+	}
+	if got := h.Percentile(0); got != 0 {
+		t.Fatalf("p0 = %d", got)
+	}
+	if got := h.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %d", got)
+	}
+	if got := h.Percentile(25); got != 25 {
+		t.Fatalf("p25 = %d", got)
+	}
+}
+
+func TestHistogramAddAfterQuery(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	_ = h.Median()
+	h.Add(1) // must re-sort
+	if h.Min() != 1 {
+		t.Fatalf("min = %d after post-query add", h.Min())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Add(5)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestPropPercentileMonotone(t *testing.T) {
+	f := func(vals []int16) bool {
+		var h Histogram
+		for _, v := range vals {
+			h.Add(int64(v))
+		}
+		prev := int64(math.MinInt64)
+		for p := 0.0; p <= 100; p += 7 {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropPercentileWithinRange(t *testing.T) {
+	f := func(vals []int16, p uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range vals {
+			h.Add(int64(v))
+		}
+		v := h.Percentile(float64(p % 101))
+		return v >= h.Min() && v <= h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterGbps(t *testing.T) {
+	var m Meter
+	m.Start(0)
+	// 125 MB in 100 ms = 10 Gbps.
+	m.Bytes = 125_000_000
+	m.Frames = 1000
+	if got := m.Gbps(sim.Time(100 * sim.Millisecond)); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("Gbps = %v, want 10", got)
+	}
+	if got := m.PPS(sim.Time(100 * sim.Millisecond)); math.Abs(got-10000) > 1e-6 {
+		t.Fatalf("PPS = %v, want 10000", got)
+	}
+}
+
+func TestMeterZeroWindow(t *testing.T) {
+	var m Meter
+	m.Start(50)
+	m.Record(100)
+	if m.Gbps(50) != 0 || m.PPS(50) != 0 {
+		t.Fatal("zero window should report 0")
+	}
+}
+
+func TestMeterRecordAndReset(t *testing.T) {
+	var m Meter
+	m.Record(100)
+	m.Record(200)
+	if m.Bytes != 300 || m.Frames != 2 {
+		t.Fatalf("meter = %+v", m)
+	}
+	m.Reset(10)
+	if m.Bytes != 0 || m.Frames != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestGbpsHelper(t *testing.T) {
+	if got := Gbps(5_000_000_000, sim.Duration(sim.Second)); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("Gbps = %v, want 40", got)
+	}
+	if Gbps(100, 0) != 0 {
+		t.Fatal("zero duration should report 0")
+	}
+}
+
+func TestLossStats(t *testing.T) {
+	l := LossStats{Offered: 100, Delivered: 97, Dropped: 3}
+	if math.Abs(l.Rate()-0.03) > 1e-12 {
+		t.Fatalf("rate = %v", l.Rate())
+	}
+	var empty LossStats
+	if empty.Rate() != 0 {
+		t.Fatal("empty loss rate should be 0")
+	}
+	if s := l.String(); s == "" {
+		t.Fatal("String empty")
+	}
+}

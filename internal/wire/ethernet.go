@@ -1,0 +1,72 @@
+package wire
+
+import "fmt"
+
+// MAC is a 48-bit Ethernet hardware address. It is a value type so it can be
+// used as a map key in exact-match tables.
+type MAC [6]byte
+
+// MACFromUint64 builds a MAC from the low 48 bits of v. Handy for generating
+// distinct, readable addresses in tests and topologies.
+func MACFromUint64(v uint64) MAC {
+	var m MAC
+	m[0] = byte(v >> 40)
+	m[1] = byte(v >> 32)
+	m[2] = byte(v >> 24)
+	m[3] = byte(v >> 16)
+	m[4] = byte(v >> 8)
+	m[5] = byte(v)
+	return m
+}
+
+// Uint64 returns the address as an integer (high bits zero).
+func (m MAC) Uint64() uint64 {
+	return uint64(m[0])<<40 | uint64(m[1])<<32 | uint64(m[2])<<24 |
+		uint64(m[3])<<16 | uint64(m[4])<<8 | uint64(m[5])
+}
+
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether m is ff:ff:ff:ff:ff:ff.
+func (m MAC) IsBroadcast() bool {
+	return m == MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+}
+
+// BroadcastMAC is the Ethernet broadcast address.
+var BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// EthernetLen is the length of an Ethernet II header.
+const EthernetLen = 14
+
+// Ethernet is an Ethernet II header.
+type Ethernet struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+}
+
+// WireLen returns the encoded size of the header.
+func (Ethernet) WireLen() int { return EthernetLen }
+
+// Put serializes the header into b, which must hold at least EthernetLen
+// bytes, and returns the number of bytes written.
+func (h *Ethernet) Put(b []byte) int {
+	_ = b[EthernetLen-1]
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	be.PutUint16(b[12:14], h.EtherType)
+	return EthernetLen
+}
+
+// DecodeFromBytes parses the header from b without copying.
+func (h *Ethernet) DecodeFromBytes(b []byte) error {
+	if len(b) < EthernetLen {
+		return tooShort("ethernet", EthernetLen, len(b))
+	}
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.EtherType = be.Uint16(b[12:14])
+	return nil
+}

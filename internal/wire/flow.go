@@ -1,0 +1,61 @@
+package wire
+
+import "hash/crc32"
+
+// FlowKey is the classic 5-tuple. It is a comparable value type, so it can
+// key exact-match tables and Go maps directly (the gopacket Endpoint/Flow
+// pattern, specialized to what the primitives hash on).
+type FlowKey struct {
+	SrcIP, DstIP     IP4
+	Protocol         uint8
+	SrcPort, DstPort uint16
+}
+
+// castagnoli mirrors the CRC unit switch ASICs expose to P4 programs.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Hash returns a 32-bit hash of the flow key, computed with CRC32-C the way
+// a P4 program would use the switch's hash engine.
+func (k FlowKey) Hash() uint32 {
+	var b [13]byte
+	copy(b[0:4], k.SrcIP[:])
+	copy(b[4:8], k.DstIP[:])
+	b[8] = k.Protocol
+	be.PutUint16(b[9:11], k.SrcPort)
+	be.PutUint16(b[11:13], k.DstPort)
+	return crc32.Checksum(b[:], castagnoli)
+}
+
+// Index maps the flow hash onto a table of n entries. n must be positive.
+func (k FlowKey) Index(n int) int { return int(k.Hash() % uint32(n)) }
+
+// Reverse returns the key of the opposite direction of the flow.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{
+		SrcIP: k.DstIP, DstIP: k.SrcIP,
+		Protocol: k.Protocol,
+		SrcPort:  k.DstPort, DstPort: k.SrcPort,
+	}
+}
+
+// FlowOf extracts the 5-tuple from a parsed packet. Packets without an IPv4
+// or UDP layer yield a key with the available fields and zeroes elsewhere.
+func FlowOf(p *Packet) FlowKey {
+	var k FlowKey
+	if p.HasIPv4 {
+		k.SrcIP, k.DstIP, k.Protocol = p.IP.Src, p.IP.Dst, p.IP.Protocol
+	}
+	if p.HasUDP {
+		k.SrcPort, k.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+	}
+	if p.HasGRH {
+		// RoCEv1: addresses ride in v4-mapped GIDs.
+		if src, ok := GIDToIP4(p.GRH.SGID); ok {
+			k.SrcIP = src
+		}
+		if dst, ok := GIDToIP4(p.GRH.DGID); ok {
+			k.DstIP = dst
+		}
+	}
+	return k
+}

@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFlowKeyHashDeterministic(t *testing.T) {
+	k := FlowKey{SrcIP: IP4{10, 0, 0, 1}, DstIP: IP4{10, 0, 0, 2}, Protocol: 17, SrcPort: 1000, DstPort: 2000}
+	if k.Hash() != k.Hash() {
+		t.Fatal("hash not deterministic")
+	}
+	k2 := k
+	k2.SrcPort = 1001
+	if k.Hash() == k2.Hash() {
+		t.Fatal("hash collision on adjacent ports (suspicious for CRC32C)")
+	}
+}
+
+func TestFlowKeyReverse(t *testing.T) {
+	k := FlowKey{SrcIP: IP4{1, 2, 3, 4}, DstIP: IP4{5, 6, 7, 8}, Protocol: 6, SrcPort: 1, DstPort: 2}
+	r := k.Reverse()
+	if r.SrcIP != k.DstIP || r.DstPort != k.SrcPort || r.Protocol != k.Protocol {
+		t.Fatalf("reverse = %+v", r)
+	}
+	if r.Reverse() != k {
+		t.Fatal("double reverse not identity")
+	}
+}
+
+func TestFlowKeyIndexInRange(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, n uint16) bool {
+		size := int(n%1000) + 1
+		k := FlowKey{SrcIP: IP4FromUint32(src), DstIP: IP4FromUint32(dst), Protocol: 17, SrcPort: sp, DstPort: dp}
+		idx := k.Index(size)
+		return idx >= 0 && idx < size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowOf(t *testing.T) {
+	frame := BuildDataFrame(MACFromUint64(1), MACFromUint64(2),
+		IP4{10, 0, 0, 1}, IP4{10, 0, 0, 9}, 4444, 5555, 128, nil)
+	var p Packet
+	if err := p.DecodeFromBytes(frame); err != nil {
+		t.Fatal(err)
+	}
+	k := FlowOf(&p)
+	want := FlowKey{SrcIP: IP4{10, 0, 0, 1}, DstIP: IP4{10, 0, 0, 9}, Protocol: 17, SrcPort: 4444, DstPort: 5555}
+	if k != want {
+		t.Fatalf("FlowOf = %+v, want %+v", k, want)
+	}
+}
+
+func TestFlowHashSpreads(t *testing.T) {
+	// 10k flows into 64 buckets: no bucket should be wildly over-loaded.
+	const flows, buckets = 10000, 64
+	var counts [buckets]int
+	for i := 0; i < flows; i++ {
+		k := FlowKey{
+			SrcIP: IP4FromUint32(0x0a000000 + uint32(i)), DstIP: IP4{10, 1, 0, 1},
+			Protocol: 17, SrcPort: uint16(i), DstPort: 80,
+		}
+		counts[k.Index(buckets)]++
+	}
+	mean := flows / buckets
+	for b, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Fatalf("bucket %d has %d flows (mean %d): poor spread", b, c, mean)
+		}
+	}
+}

@@ -1,0 +1,433 @@
+package wire
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// RoCEParams carries the per-channel addressing state a data plane needs to
+// craft a RoCE packet: Ethernet/IP endpoints, the UDP source port used for
+// ECMP entropy, and the destination queue pair.
+type RoCEParams struct {
+	SrcMAC, DstMAC MAC
+	SrcIP, DstIP   IP4
+	UDPSrcPort     uint16
+	DestQP         uint32
+	PSN            uint32
+	AckReq         bool
+	// Version selects the encapsulation: 0 / RoCEv2 = IPv4+UDP (default),
+	// RoCEv1 = GRH directly over Ethernet (ethertype 0x8915).
+	Version RoCEVersion
+}
+
+// roceHeaderLen returns the fixed Eth+IP+UDP+BTH prefix length.
+const roceFixedLen = EthernetLen + IPv4Len + UDPLen + BTHLen
+
+// RoCEWireLen returns the total frame length of a RoCEv2 packet with the
+// given extension-header length and payload length (ICRC included, Ethernet
+// framing overhead excluded).
+func RoCEWireLen(extLen, payloadLen int) int {
+	return roceFixedLen + extLen + payloadLen + ICRCLen
+}
+
+// roceV1FixedLen is the Eth+GRH+BTH prefix of a RoCEv1 packet.
+const roceV1FixedLen = EthernetLen + GRHLen + BTHLen
+
+// RoCEv1WireLen is RoCEWireLen for the v1 encapsulation.
+func RoCEv1WireLen(extLen, payloadLen int) int {
+	return roceV1FixedLen + extLen + payloadLen + ICRCLen
+}
+
+// buildRoCE assembles a complete RoCE frame in the encapsulation the
+// params select. exts are encoded in order after the BTH; payload follows;
+// the ICRC trails.
+func buildRoCE(p *RoCEParams, opcode Opcode, exts []interface{ Put([]byte) int }, extLen int, payload []byte) []byte {
+	if p.Version == RoCEv1 {
+		return buildRoCEv1(p, opcode, exts, extLen, payload)
+	}
+	total := RoCEWireLen(extLen, len(payload))
+	frame := make([]byte, total)
+
+	eth := Ethernet{Dst: p.DstMAC, Src: p.SrcMAC, EtherType: EtherTypeIPv4}
+	off := eth.Put(frame)
+
+	ip := IPv4{
+		DSCP:     46, // expedited forwarding: RDMA traffic is prioritized
+		TotalLen: uint16(total - EthernetLen),
+		DontFrag: true,
+		TTL:      64,
+		Protocol: ProtoUDP,
+		Src:      p.SrcIP,
+		Dst:      p.DstIP,
+	}
+	off += ip.Put(frame[off:])
+
+	udp := UDP{
+		SrcPort: p.UDPSrcPort,
+		DstPort: UDPPortRoCEv2,
+		Length:  uint16(total - EthernetLen - IPv4Len),
+	}
+	off += udp.Put(frame[off:])
+
+	off += putBTHExts(frame[off:], p, opcode, exts)
+	off += copy(frame[off:], payload)
+	putICRC(frame)
+	return frame
+}
+
+// putBTHExts writes the BTH and extension headers common to both
+// encapsulations.
+func putBTHExts(b []byte, p *RoCEParams, opcode Opcode, exts []interface{ Put([]byte) int }) int {
+	bth := BTH{
+		Opcode: opcode,
+		PKey:   DefaultPKey,
+		DestQP: p.DestQP,
+		AckReq: p.AckReq,
+		PSN:    p.PSN & 0xFFFFFF,
+	}
+	off := bth.Put(b)
+	for _, e := range exts {
+		off += e.Put(b[off:])
+	}
+	return off
+}
+
+// buildRoCEv1 assembles the GRH-over-Ethernet encapsulation.
+func buildRoCEv1(p *RoCEParams, opcode Opcode, exts []interface{ Put([]byte) int }, extLen int, payload []byte) []byte {
+	total := RoCEv1WireLen(extLen, len(payload))
+	frame := make([]byte, total)
+
+	eth := Ethernet{Dst: p.DstMAC, Src: p.SrcMAC, EtherType: EtherTypeRoCEv1}
+	off := eth.Put(frame)
+
+	grh := GRH{
+		TClass:     46 << 2,
+		PayLen:     uint16(total - EthernetLen - GRHLen),
+		NextHeader: GRHNextHeaderIBA,
+		HopLimit:   64,
+		SGID:       V4MappedGID(p.SrcIP),
+		DGID:       V4MappedGID(p.DstIP),
+	}
+	off += grh.Put(frame[off:])
+
+	off += putBTHExts(frame[off:], p, opcode, exts)
+	off += copy(frame[off:], payload)
+	putICRC(frame)
+	return frame
+}
+
+// BuildWriteOnly crafts an RDMA WRITE Only request carrying payload to
+// remote address va under rkey.
+func BuildWriteOnly(p *RoCEParams, va uint64, rkey uint32, payload []byte) []byte {
+	reth := &RETH{VA: va, RKey: rkey, DMALen: uint32(len(payload))}
+	return buildRoCE(p, OpWriteOnly, []interface{ Put([]byte) int }{reth}, RETHLen, payload)
+}
+
+// BuildWriteFirst crafts the first packet of a multi-packet WRITE of
+// dmaLen total bytes.
+func BuildWriteFirst(p *RoCEParams, va uint64, rkey uint32, dmaLen uint32, payload []byte) []byte {
+	reth := &RETH{VA: va, RKey: rkey, DMALen: dmaLen}
+	return buildRoCE(p, OpWriteFirst, []interface{ Put([]byte) int }{reth}, RETHLen, payload)
+}
+
+// BuildWriteMiddle crafts a middle packet of a multi-packet WRITE.
+func BuildWriteMiddle(p *RoCEParams, payload []byte) []byte {
+	return buildRoCE(p, OpWriteMiddle, nil, 0, payload)
+}
+
+// BuildWriteLast crafts the last packet of a multi-packet WRITE.
+func BuildWriteLast(p *RoCEParams, payload []byte) []byte {
+	return buildRoCE(p, OpWriteLast, nil, 0, payload)
+}
+
+// BuildReadRequest crafts an RDMA READ request for dmaLen bytes at va.
+func BuildReadRequest(p *RoCEParams, va uint64, rkey uint32, dmaLen uint32) []byte {
+	reth := &RETH{VA: va, RKey: rkey, DMALen: dmaLen}
+	return buildRoCE(p, OpReadRequest, []interface{ Put([]byte) int }{reth}, RETHLen, nil)
+}
+
+// BuildFetchAdd crafts an atomic Fetch-and-Add request adding delta to the
+// 8-byte word at va.
+func BuildFetchAdd(p *RoCEParams, va uint64, rkey uint32, delta uint64) []byte {
+	ae := &AtomicETH{VA: va, RKey: rkey, SwapAdd: delta}
+	return buildRoCE(p, OpFetchAdd, []interface{ Put([]byte) int }{ae}, AtomicETHLen, nil)
+}
+
+// BuildCompareSwap crafts an atomic Compare-and-Swap request.
+func BuildCompareSwap(p *RoCEParams, va uint64, rkey uint32, compare, swap uint64) []byte {
+	ae := &AtomicETH{VA: va, RKey: rkey, SwapAdd: swap, Compare: compare}
+	return buildRoCE(p, OpCompareSwap, []interface{ Put([]byte) int }{ae}, AtomicETHLen, nil)
+}
+
+// BuildReadResponse crafts a READ response packet of the given flavour
+// (Only/First/Middle/Last). First/Only/Last carry an AETH.
+func BuildReadResponse(p *RoCEParams, opcode Opcode, msn uint32, payload []byte) []byte {
+	switch opcode {
+	case OpReadResponseOnly, OpReadResponseFirst, OpReadResponseLast:
+		ae := &AETH{Syndrome: AETHAck, MSN: msn & 0xFFFFFF}
+		return buildRoCE(p, opcode, []interface{ Put([]byte) int }{ae}, AETHLen, payload)
+	case OpReadResponseMiddle:
+		return buildRoCE(p, opcode, nil, 0, payload)
+	default:
+		panic(fmt.Sprintf("wire: %v is not a read response opcode", opcode))
+	}
+}
+
+// BuildAck crafts an ACK (or NAK, per syndrome) packet.
+func BuildAck(p *RoCEParams, syndrome uint8, msn uint32) []byte {
+	ae := &AETH{Syndrome: syndrome, MSN: msn & 0xFFFFFF}
+	return buildRoCE(p, OpAcknowledge, []interface{ Put([]byte) int }{ae}, AETHLen, nil)
+}
+
+// BuildAtomicAck crafts an atomic acknowledge carrying the original value.
+func BuildAtomicAck(p *RoCEParams, msn uint32, orig uint64) []byte {
+	ae := &AETH{Syndrome: AETHAck, MSN: msn & 0xFFFFFF}
+	aa := &AtomicAckETH{OrigData: orig}
+	return buildRoCE(p, OpAtomicAcknowledge,
+		[]interface{ Put([]byte) int }{ae, aa}, AETHLen+AtomicAckETHLen, nil)
+}
+
+// BuildDataFrame assembles a plain (non-RoCE) Ethernet/IPv4/UDP frame of
+// exactly frameLen bytes (padding the payload as needed), as emitted by the
+// traffic generators standing in for raw_ethernet_bw and NetPIPE. frameLen
+// excludes framing overhead. The payload occupies the space after the UDP
+// header.
+func BuildDataFrame(srcMAC, dstMAC MAC, srcIP, dstIP IP4, srcPort, dstPort uint16, frameLen int, payload []byte) []byte {
+	if frameLen < MinFrameSize {
+		frameLen = MinFrameSize
+	}
+	if min := EthernetLen + IPv4Len + UDPLen + len(payload); frameLen < min {
+		frameLen = min
+	}
+	frame := make([]byte, frameLen)
+	eth := Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4}
+	off := eth.Put(frame)
+	ip := IPv4{
+		TotalLen: uint16(frameLen - EthernetLen),
+		TTL:      64,
+		Protocol: ProtoUDP,
+		Src:      srcIP,
+		Dst:      dstIP,
+	}
+	off += ip.Put(frame[off:])
+	udp := UDP{
+		SrcPort: srcPort,
+		DstPort: dstPort,
+		Length:  uint16(frameLen - EthernetLen - IPv4Len),
+	}
+	off += udp.Put(frame[off:])
+	copy(frame[off:], payload)
+	return frame
+}
+
+// Packet is a fully parsed frame. Decode methods fill it in place without
+// copying payload bytes (gopacket's preallocated DecodingLayer pattern), so
+// one Packet per pipeline can parse millions of frames with zero allocation.
+type Packet struct {
+	Eth Ethernet
+
+	HasIPv4 bool
+	IP      IPv4
+
+	HasUDP bool
+	UDP    UDP
+
+	// HasGRH marks a RoCEv1 frame (GRH instead of IPv4+UDP).
+	HasGRH bool
+	GRH    GRH
+
+	// RoCE transport headers; IsRoCE is true for RoCEv2 (UDP dst port
+	// 4791) and RoCEv1 (ethertype 0x8915) frames alike.
+	IsRoCE       bool
+	BTH          BTH
+	HasRETH      bool
+	RETH         RETH
+	HasAETH      bool
+	AETH         AETH
+	HasAtomicETH bool
+	AtomicETH    AtomicETH
+	HasAtomicAck bool
+	AtomicAck    AtomicAckETH
+	ICRCOK       bool
+
+	// Payload is the innermost payload: for RoCE packets the RDMA payload
+	// (after extension headers, before the ICRC); for UDP the datagram
+	// payload; otherwise the bytes after the Ethernet header.
+	Payload []byte
+}
+
+// Reset clears the presence flags so the struct can be reused.
+func (p *Packet) Reset() {
+	p.HasIPv4, p.HasUDP, p.IsRoCE, p.HasGRH = false, false, false, false
+	p.HasRETH, p.HasAETH, p.HasAtomicETH, p.HasAtomicAck = false, false, false, false
+	p.ICRCOK = false
+	p.Payload = nil
+}
+
+// DecodeFromBytes parses frame into p. RoCE transport parsing is attempted
+// whenever the UDP destination port is 4791; a malformed RoCE layer is an
+// error (the switch drops such frames), while a plain non-RoCE frame is fine.
+func (p *Packet) DecodeFromBytes(frame []byte) error {
+	p.Reset()
+	if err := p.Eth.DecodeFromBytes(frame); err != nil {
+		return err
+	}
+	rest := frame[EthernetLen:]
+	if p.Eth.EtherType == EtherTypeRoCEv1 {
+		if err := p.GRH.DecodeFromBytes(rest); err != nil {
+			return err
+		}
+		p.HasGRH = true
+		glen := int(p.GRH.PayLen) + GRHLen
+		if glen > len(rest) {
+			return tooShort("grh payload length", glen, len(rest))
+		}
+		return p.decodeRoCE(frame, rest[GRHLen:glen])
+	}
+	if p.Eth.EtherType != EtherTypeIPv4 {
+		p.Payload = rest
+		return nil
+	}
+	if err := p.IP.DecodeFromBytes(rest); err != nil {
+		return err
+	}
+	p.HasIPv4 = true
+	// Trust TotalLen to strip link-layer padding.
+	ipLen := int(p.IP.TotalLen)
+	if ipLen > len(rest) {
+		return tooShort("ipv4 total length", ipLen, len(rest))
+	}
+	rest = rest[IPv4Len:ipLen]
+	if p.IP.Protocol != ProtoUDP {
+		p.Payload = rest
+		return nil
+	}
+	if err := p.UDP.DecodeFromBytes(rest); err != nil {
+		return err
+	}
+	p.HasUDP = true
+	rest = rest[UDPLen:]
+	if p.UDP.DstPort != UDPPortRoCEv2 {
+		p.Payload = rest
+		return nil
+	}
+	return p.decodeRoCE(frame, rest)
+}
+
+func (p *Packet) decodeRoCE(frame, rest []byte) error {
+	if err := p.BTH.DecodeFromBytes(rest); err != nil {
+		return err
+	}
+	p.IsRoCE = true
+	rest = rest[BTHLen:]
+	if len(rest) < ICRCLen {
+		return tooShort("icrc", ICRCLen, len(rest))
+	}
+	switch op := p.BTH.Opcode; {
+	case op.HasRETH():
+		if err := p.RETH.DecodeFromBytes(rest); err != nil {
+			return err
+		}
+		p.HasRETH = true
+		rest = rest[RETHLen:]
+	case op.IsAtomic():
+		if err := p.AtomicETH.DecodeFromBytes(rest); err != nil {
+			return err
+		}
+		p.HasAtomicETH = true
+		rest = rest[AtomicETHLen:]
+	case op == OpAcknowledge,
+		op == OpReadResponseOnly, op == OpReadResponseFirst, op == OpReadResponseLast:
+		if err := p.AETH.DecodeFromBytes(rest); err != nil {
+			return err
+		}
+		p.HasAETH = true
+		rest = rest[AETHLen:]
+	case op == OpAtomicAcknowledge:
+		if err := p.AETH.DecodeFromBytes(rest); err != nil {
+			return err
+		}
+		p.HasAETH = true
+		rest = rest[AETHLen:]
+		if err := p.AtomicAck.DecodeFromBytes(rest); err != nil {
+			return err
+		}
+		p.HasAtomicAck = true
+		rest = rest[AtomicAckETHLen:]
+	}
+	if len(rest) < ICRCLen {
+		return tooShort("icrc", ICRCLen, len(rest))
+	}
+	p.Payload = rest[:len(rest)-ICRCLen]
+	p.ICRCOK = verifyICRC(frame)
+	return nil
+}
+
+// ---- ICRC ----
+//
+// RoCE packets end with a 32-bit invariant CRC computed over the packet with
+// per-hop-variant fields masked. We use the Ethernet CRC-32 polynomial (as
+// the spec does) over the frame from the IP header onward, masking the
+// fields the spec masks: IP TOS/TTL/checksum, the UDP checksum, and the BTH
+// reserved byte. This is a faithful simplification: both ends of the
+// simulation compute it the same way, so corruption and truncation are
+// detectable, which is what the primitives rely on.
+
+func icrcInput(frame []byte) ([]byte, bool) {
+	v1 := IsRoCEv1Frame(frame)
+	min := roceFixedLen
+	if v1 {
+		min = roceV1FixedLen
+	}
+	if len(frame) < min+ICRCLen {
+		return nil, false
+	}
+	body := make([]byte, len(frame)-EthernetLen-ICRCLen)
+	copy(body, frame[EthernetLen:len(frame)-ICRCLen])
+	if v1 {
+		// Mask the variant GRH fields: traffic class and hop limit.
+		body[0] |= 0x0F
+		body[1] |= 0xF0
+		body[7] = 0xFF        // hop limit
+		body[GRHLen+4] = 0xFF // BTH reserved
+		return body, true
+	}
+	// Mask variant fields (offsets within the IP header).
+	body[1] = 0xFF                                // IP TOS
+	body[8] = 0xFF                                // IP TTL
+	body[10], body[11] = 0xFF, 0xFF               // IP checksum
+	body[IPv4Len+6], body[IPv4Len+7] = 0xFF, 0xFF // UDP checksum
+	body[IPv4Len+UDPLen+4] = 0xFF                 // BTH reserved
+	return body, true
+}
+
+// IsRoCEv1Frame cheaply tests the ethertype.
+func IsRoCEv1Frame(frame []byte) bool {
+	return len(frame) >= EthernetLen && frame[12] == 0x89 && frame[13] == 0x15
+}
+
+// putICRC computes and stores the ICRC in the last 4 bytes of frame.
+func putICRC(frame []byte) {
+	body, ok := icrcInput(frame)
+	if !ok {
+		panic("wire: frame too short for ICRC")
+	}
+	crc := crc32.ChecksumIEEE(body)
+	// Transmitted least-significant byte first, like the Ethernet FCS.
+	frame[len(frame)-4] = byte(crc)
+	frame[len(frame)-3] = byte(crc >> 8)
+	frame[len(frame)-2] = byte(crc >> 16)
+	frame[len(frame)-1] = byte(crc >> 24)
+}
+
+// verifyICRC recomputes the ICRC of frame and compares it to the trailer.
+func verifyICRC(frame []byte) bool {
+	body, ok := icrcInput(frame)
+	if !ok {
+		return false
+	}
+	crc := crc32.ChecksumIEEE(body)
+	n := len(frame)
+	got := uint32(frame[n-4]) | uint32(frame[n-3])<<8 | uint32(frame[n-2])<<16 | uint32(frame[n-1])<<24
+	return crc == got
+}

@@ -1,0 +1,78 @@
+package wire
+
+import "fmt"
+
+// GRH is the InfiniBand Global Route Header: the 40-byte routing header
+// RoCEv1 places directly after the Ethernet header (where RoCEv2 uses
+// IPv4+UDP). The simulation carries IPv4 addresses as v4-mapped GIDs
+// (::ffff:a.b.c.d), as real RoCEv1 deployments do.
+type GRH struct {
+	TClass     uint8
+	FlowLabel  uint32 // 20 bits
+	PayLen     uint16 // bytes after the GRH, ICRC included
+	NextHeader uint8  // 0x1B = IBA transport (BTH follows)
+	HopLimit   uint8
+	SGID       [16]byte
+	DGID       [16]byte
+}
+
+// GRHNextHeaderIBA marks that a BTH follows the GRH.
+const GRHNextHeaderIBA = 0x1B
+
+// WireLen returns the encoded size of the header.
+func (GRH) WireLen() int { return GRHLen }
+
+// Put serializes the header into b.
+func (h *GRH) Put(b []byte) int {
+	_ = b[GRHLen-1]
+	b[0] = 0x60 | h.TClass>>4 // IP version 6 + high tclass nibble
+	b[1] = h.TClass<<4 | uint8(h.FlowLabel>>16)&0x0F
+	b[2] = byte(h.FlowLabel >> 8)
+	b[3] = byte(h.FlowLabel)
+	be.PutUint16(b[4:6], h.PayLen)
+	b[6] = h.NextHeader
+	b[7] = h.HopLimit
+	copy(b[8:24], h.SGID[:])
+	copy(b[24:40], h.DGID[:])
+	return GRHLen
+}
+
+// DecodeFromBytes parses the header from b.
+func (h *GRH) DecodeFromBytes(b []byte) error {
+	if len(b) < GRHLen {
+		return tooShort("grh", GRHLen, len(b))
+	}
+	if v := b[0] >> 4; v != 6 {
+		return fmt.Errorf("%w: GRH IPVer %d", ErrBadVersion, v)
+	}
+	h.TClass = b[0]<<4 | b[1]>>4
+	h.FlowLabel = uint32(b[1]&0x0F)<<16 | uint32(b[2])<<8 | uint32(b[3])
+	h.PayLen = be.Uint16(b[4:6])
+	h.NextHeader = b[6]
+	h.HopLimit = b[7]
+	copy(h.SGID[:], b[8:24])
+	copy(h.DGID[:], b[24:40])
+	return nil
+}
+
+// V4MappedGID embeds an IPv4 address in a GID (::ffff:a.b.c.d).
+func V4MappedGID(ip IP4) [16]byte {
+	var g [16]byte
+	g[10], g[11] = 0xFF, 0xFF
+	copy(g[12:16], ip[:])
+	return g
+}
+
+// GIDToIP4 extracts the IPv4 address from a v4-mapped GID; ok is false for
+// native IPv6 GIDs.
+func GIDToIP4(g [16]byte) (IP4, bool) {
+	for i := 0; i < 10; i++ {
+		if g[i] != 0 {
+			return IP4{}, false
+		}
+	}
+	if g[10] != 0xFF || g[11] != 0xFF {
+		return IP4{}, false
+	}
+	return IP4{g[12], g[13], g[14], g[15]}, true
+}

@@ -1,0 +1,39 @@
+package wire
+
+// UDPLen is the length of a UDP header.
+const UDPLen = 8
+
+// UDP is a UDP header. RoCEv2 rides on destination port 4791; the source
+// port carries flow entropy for ECMP, which the switch data plane sets from
+// a hash of the queue pair number.
+type UDP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16 // header + payload
+	Checksum uint16 // 0 = not computed (legal for RoCEv2 over IPv4)
+}
+
+// WireLen returns the encoded size of the header.
+func (UDP) WireLen() int { return UDPLen }
+
+// Put serializes the header into b.
+func (h *UDP) Put(b []byte) int {
+	_ = b[UDPLen-1]
+	be.PutUint16(b[0:2], h.SrcPort)
+	be.PutUint16(b[2:4], h.DstPort)
+	be.PutUint16(b[4:6], h.Length)
+	be.PutUint16(b[6:8], h.Checksum)
+	return UDPLen
+}
+
+// DecodeFromBytes parses the header from b.
+func (h *UDP) DecodeFromBytes(b []byte) error {
+	if len(b) < UDPLen {
+		return tooShort("udp", UDPLen, len(b))
+	}
+	h.SrcPort = be.Uint16(b[0:2])
+	h.DstPort = be.Uint16(b[2:4])
+	h.Length = be.Uint16(b[4:6])
+	h.Checksum = be.Uint16(b[6:8])
+	return nil
+}
