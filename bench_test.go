@@ -144,6 +144,45 @@ func BenchmarkWireEncodeFetchAdd(b *testing.B) {
 	}
 }
 
+func BenchmarkWireBuildWriteOnly(b *testing.B) {
+	// The pooled hot path: every iteration draws the frame buffer from the
+	// pool and recycles it, so steady state is 0 allocs/op.
+	p := &wire.RoCEParams{DestQP: 1}
+	payload := make([]byte, 1500)
+	pool := wire.NewPool()
+	b.SetBytes(1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.PSN = uint32(i)
+		frame := wire.BuildWriteOnlyInto(pool, p, 0x1000, 0x42, payload)
+		pool.Put(frame)
+	}
+}
+
+func BenchmarkWireBuildFetchAdd(b *testing.B) {
+	p := &wire.RoCEParams{DestQP: 1}
+	pool := wire.NewPool()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.PSN = uint32(i)
+		frame := wire.BuildFetchAddInto(pool, p, 0x1000, 0x42, 1)
+		pool.Put(frame)
+	}
+}
+
+func BenchmarkWireDecode(b *testing.B) {
+	// Decode is a zero-copy view over the frame: 0 allocs/op.
+	frame := wire.BuildWriteOnly(&wire.RoCEParams{DestQP: 1}, 0, 1, make([]byte, 1500))
+	var pkt wire.Packet
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := pkt.DecodeFromBytes(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkWireDecodeRoCE(b *testing.B) {
 	frame := wire.BuildWriteOnly(&wire.RoCEParams{DestQP: 1}, 0, 1, make([]byte, 1500))
 	var pkt wire.Packet
@@ -195,6 +234,7 @@ func BenchmarkSwitchL2Forwarding(b *testing.B) {
 	})
 	frame := tb.DataFrame(0, 1, 1500, 1, 2)
 	b.SetBytes(1500)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tb.SendFrame(0, append([]byte(nil), frame...))
@@ -219,6 +259,7 @@ func BenchmarkNICWritePath(b *testing.B) {
 	tb.SetPipeline(func(ctx *gem.Context) { ctx.Drop() })
 	payload := make([]byte, 1024)
 	b.SetBytes(1024)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ch.Write((i%512)*1024, payload)
@@ -248,6 +289,7 @@ func BenchmarkStateStoreUpdate(b *testing.B) {
 			ctx.Drop()
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ss.Update(i%65536, 1)

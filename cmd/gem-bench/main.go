@@ -3,16 +3,24 @@
 //
 // Usage:
 //
-//	gem-bench            # run everything at full settings
-//	gem-bench -run E2,E3 # run a subset
-//	gem-bench -quick     # reduced settings (seconds, for smoke tests)
+//	gem-bench             # run everything at full settings
+//	gem-bench -run E2,E3  # run a subset
+//	gem-bench -quick      # reduced settings (seconds, for smoke tests)
+//	gem-bench -parallel 4 # fan experiments across 4 workers
+//
+// Each experiment owns a private discrete-event engine, so experiments are
+// independent and deterministic regardless of -parallel; output is printed
+// in experiment order either way.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"gem/internal/harness"
@@ -23,6 +31,8 @@ func main() {
 	runList := flag.String("run", "all",
 		"comma-separated experiment ids (E1..E7, E8a..E8f) or 'all'")
 	quick := flag.Bool("quick", false, "reduced parameters for a fast smoke run")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"number of experiments to run concurrently")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -150,19 +160,62 @@ func main() {
 		}},
 	}
 
-	ran := 0
+	var selected []experiment
 	for _, e := range experiments {
-		if !want[e.id] && !want[strings.ToUpper(e.id)] {
-			continue
+		if want[e.id] {
+			selected = append(selected, e)
 		}
-		start := time.Now()
-		table := e.run()
-		table.Fprint(os.Stdout)
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.id, time.Since(start).Round(time.Millisecond))
-		ran++
 	}
-	if ran == 0 {
+	if len(selected) == 0 {
 		fmt.Fprintf(os.Stderr, "no experiments matched -run=%q\n", *runList)
 		os.Exit(2)
 	}
+
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+
+	type result struct {
+		out     bytes.Buffer
+		elapsed time.Duration
+	}
+	// One single-use channel per experiment lets main stream results in
+	// experiment order while workers complete out of order.
+	results := make([]chan *result, len(selected))
+	for i := range results {
+		results[i] = make(chan *result, 1)
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				start := time.Now()
+				table := selected[i].run()
+				r := &result{elapsed: time.Since(start)}
+				table.Fprint(&r.out)
+				results[i] <- r
+			}
+		}()
+	}
+	go func() {
+		for i := range selected {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+
+	for i, e := range selected {
+		r := <-results[i]
+		os.Stdout.Write(r.out.Bytes())
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.id, r.elapsed.Round(time.Millisecond))
+	}
+	wg.Wait()
 }

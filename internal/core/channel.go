@@ -136,8 +136,10 @@ func (c *Channel) NextPSN(n uint32) uint32 {
 // PSN returns the next PSN that will be assigned (for tests).
 func (c *Channel) PSN() uint32 { return uint32(c.psn.Get(0)) }
 
-func (c *Channel) params(psn uint32) *wire.RoCEParams {
-	return &wire.RoCEParams{
+// params returns request addressing by value so it stays on the caller's
+// stack (the builders only read through the pointer).
+func (c *Channel) params(psn uint32) wire.RoCEParams {
+	return wire.RoCEParams{
 		SrcMAC: SwitchMAC, DstMAC: c.PeerMAC,
 		SrcIP: SwitchIP, DstIP: c.PeerIP,
 		UDPSrcPort: uint16(0xC000 | c.ID&0x3FFF),
@@ -161,6 +163,7 @@ func (c *Channel) VA(offset int, n int) uint64 {
 func (c *Channel) inject(frame []byte) bool {
 	if c.cap != nil && !c.cap.allow(c.sw.Engine.Now(), len(frame)) {
 		c.CapDrops++
+		wire.DefaultPool.Put(frame) // refused by the cap: recycle here
 		return false
 	}
 	c.RequestMeter.Record(len(frame) + wire.EthernetFramingOverhead)
@@ -176,7 +179,8 @@ func (c *Channel) inject(frame []byte) bool {
 // the memory channel runs at 4096B path MTU so full Ethernet frames fit.
 func (c *Channel) Write(offset int, payload []byte) bool {
 	va := c.VA(offset, len(payload))
-	frame := wire.BuildWriteOnly(c.params(c.NextPSN(1)), va, c.RKey, payload)
+	p := c.params(c.NextPSN(1))
+	frame := wire.BuildWriteOnlyInto(wire.DefaultPool, &p, va, c.RKey, payload)
 	return c.inject(frame)
 }
 
@@ -186,7 +190,8 @@ func (c *Channel) Write(offset int, payload []byte) bool {
 // the responder.
 func (c *Channel) Read(offset, n int, respPkts uint32) bool {
 	va := c.VA(offset, n)
-	frame := wire.BuildReadRequest(c.params(c.NextPSN(respPkts)), va, c.RKey, uint32(n))
+	p := c.params(c.NextPSN(respPkts))
+	frame := wire.BuildReadRequestInto(wire.DefaultPool, &p, va, c.RKey, uint32(n))
 	return c.inject(frame)
 }
 
@@ -196,7 +201,8 @@ func (c *Channel) Read(offset, n int, respPkts uint32) bool {
 func (c *Channel) FetchAdd(offset int, delta uint64) (uint32, bool) {
 	va := c.VA(offset, 8)
 	psn := c.NextPSN(1)
-	frame := wire.BuildFetchAdd(c.params(psn), va, c.RKey, delta)
+	p := c.params(psn)
+	frame := wire.BuildFetchAddInto(wire.DefaultPool, &p, va, c.RKey, delta)
 	return psn, c.inject(frame)
 }
 

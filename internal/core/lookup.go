@@ -189,11 +189,14 @@ func (t *LookupTable) depositAndFetch(ctx *switchsim.Context, frame []byte, idx 
 		return
 	}
 	base := idx * t.cfg.EntrySize()
-	deposit := make([]byte, 2+len(frame))
+	// Scratch deposit buffer: Channel.Write copies it into the request
+	// frame, so it goes straight back to the pool.
+	deposit := wire.DefaultPool.Get(2 + len(frame))
 	deposit[0] = byte(len(frame) >> 8)
 	deposit[1] = byte(len(frame))
 	copy(deposit[2:], frame)
 	t.ch.Write(base+8, deposit) // after the 8-byte action field
+	wire.DefaultPool.Put(deposit)
 	t.Stats.Deposits++
 	n := t.cfg.EntrySize()
 	respPkts := uint32((n + t.ch.MTU - 1) / t.ch.MTU)
@@ -277,7 +280,10 @@ func (t *LookupTable) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) {
 		ctx.Drop()
 		return
 	}
-	orig := append([]byte(nil), payload[lookupEntryHeader:lookupEntryHeader+plen]...)
+	// Copy-on-retain: payload aliases the response frame, which is recycled
+	// when this pass ends; the bounced original outlives it (Emit).
+	orig := wire.DefaultPool.Get(plen)
+	copy(orig, payload[lookupEntryHeader:lookupEntryHeader+plen])
 	// Re-parse the bounced original to recover its flow key for caching.
 	var inner wire.Packet
 	if err := inner.DecodeFromBytes(orig); err != nil {

@@ -66,7 +66,8 @@ func NewRetransmitter(ch *Channel, window int) (*Retransmitter, error) {
 func (r *Retransmitter) FetchAdd(offset int, delta uint64) uint32 {
 	psn := r.ch.NextPSN(1)
 	va := r.ch.VA(offset, 8)
-	frame := wire.BuildFetchAdd(r.chParams(psn), va, r.ch.RKey, delta)
+	p := r.chParams(psn)
+	frame := wire.BuildFetchAddInto(wire.DefaultPool, &p, va, r.ch.RKey, delta)
 	r.track(psn, frame)
 	return psn
 }
@@ -75,7 +76,8 @@ func (r *Retransmitter) FetchAdd(offset int, delta uint64) uint32 {
 func (r *Retransmitter) Write(offset int, payload []byte) uint32 {
 	psn := r.ch.NextPSN(1)
 	va := r.ch.VA(offset, len(payload))
-	frame := wire.BuildWriteOnly(r.chParams(psn), va, r.ch.RKey, payload)
+	p := r.chParams(psn)
+	frame := wire.BuildWriteOnlyInto(wire.DefaultPool, &p, va, r.ch.RKey, payload)
 	r.track(psn, frame)
 	return psn
 }
@@ -84,20 +86,30 @@ func (r *Retransmitter) Write(offset int, payload []byte) uint32 {
 // tracked request.
 func (r *Retransmitter) CanSend() bool { return len(r.unacked) < r.Window }
 
-func (r *Retransmitter) chParams(psn uint32) *wire.RoCEParams {
+func (r *Retransmitter) chParams(psn uint32) wire.RoCEParams {
 	p := r.ch.params(psn)
 	p.AckReq = true
 	return p
 }
 
+// track retains frame as the master copy (it stays in switch buffer memory
+// until acknowledged) and injects a pooled copy toward the server — the
+// traffic manager recycles whatever it is handed, so the master never
+// enters the fabric.
 func (r *Retransmitter) track(psn uint32, frame []byte) {
 	r.trackOnly(psn, frame)
-	r.ch.inject(frame)
+	r.injectCopy(frame)
 }
 
 func (r *Retransmitter) trackOnly(psn uint32, frame []byte) {
 	r.unacked = append(r.unacked, relFrame{psn: psn, frame: frame})
 	r.armTimer()
+}
+
+func (r *Retransmitter) injectCopy(frame []byte) {
+	c := wire.DefaultPool.Get(len(frame))
+	copy(c, frame)
+	r.ch.inject(c)
 }
 
 func (r *Retransmitter) armTimer() {
@@ -116,7 +128,7 @@ func (r *Retransmitter) goBackN() {
 	r.timer = nil
 	for _, u := range r.unacked {
 		r.Retransmits++
-		r.ch.inject(u.frame)
+		r.injectCopy(u.frame)
 	}
 	r.armTimer()
 }
@@ -147,13 +159,19 @@ func (r *Retransmitter) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet)
 	r.armTimer()
 }
 
-// ackThrough drops every tracked frame at or before psn (cumulative ACK).
+// ackThrough drops every tracked frame at or before psn (cumulative ACK),
+// recycling the retired masters.
 func (r *Retransmitter) ackThrough(psn uint32) {
 	keep := r.unacked[:0]
 	for _, u := range r.unacked {
 		if psnAfter24(u.psn, psn) {
 			keep = append(keep, u)
+		} else {
+			wire.DefaultPool.Put(u.frame)
 		}
+	}
+	for i := len(keep); i < len(r.unacked); i++ {
+		r.unacked[i] = relFrame{}
 	}
 	r.unacked = keep
 }

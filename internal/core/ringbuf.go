@@ -235,12 +235,16 @@ func (b *PacketBuffer) store(frame []byte) {
 		b.Stats.RingDrops++ // remote ring full: the >10 GB pool exhausted
 		return
 	}
-	entry := make([]byte, 2+len(frame))
+	// Scratch entry buffer: Channel.Write copies it into the request frame,
+	// so it can go straight back to the pool.
+	entry := wire.DefaultPool.Get(2 + len(frame))
 	entry[0] = byte(len(frame) >> 8)
 	entry[1] = byte(len(frame))
 	copy(entry[2:], frame)
 	ch, _, off := b.channelOf(tail)
-	if !ch.Write(off, entry) {
+	ok := ch.Write(off, entry)
+	wire.DefaultPool.Put(entry)
+	if !ok {
 		b.Stats.StoreFails++
 		return
 	}
@@ -380,7 +384,10 @@ func (b *PacketBuffer) finishEntry(ctx *switchsim.Context, g uint64, entry []byt
 	if len(entry) >= 2 {
 		n := int(entry[0])<<8 | int(entry[1])
 		if n > 0 && 2+n <= len(entry) {
-			orig = append([]byte(nil), entry[2:2+n]...)
+			// Copy-on-retain: entry aliases the response frame (or the
+			// reassembly scratch), which is recycled when this pass ends.
+			orig = wire.DefaultPool.Get(n)
+			copy(orig, entry[2:2+n])
 		}
 	}
 	b.reorder[g] = orig

@@ -51,7 +51,7 @@ func (c *CBR) Start(engine *sim.Engine, count int64) {
 			return
 		}
 		srcPort := uint16(1000 + c.rng.Intn(c.FlowCount))
-		f := wire.BuildDataFrame(c.Src.MAC, c.Dst.MAC, c.Src.IP, c.Dst.IP,
+		f := wire.BuildDataFrameInto(wire.DefaultPool, c.Src.MAC, c.Dst.MAC, c.Src.IP, c.Dst.IP,
 			srcPort, 9999, c.FrameLen, nil)
 		if c.Port.Send(f) {
 			c.Sent++
@@ -71,7 +71,7 @@ func (c *CBR) Stop() { c.stop = true }
 // instant for an n:1 incast.
 func Burst(port *netsim.Port, src, dst *netsim.Host, frameLen int, count int) (sent, failed int) {
 	for i := 0; i < count; i++ {
-		f := wire.BuildDataFrame(src.MAC, dst.MAC, src.IP, dst.IP,
+		f := wire.BuildDataFrameInto(wire.DefaultPool, src.MAC, dst.MAC, src.IP, dst.IP,
 			uint16(1000+i%64), 9999, frameLen, nil)
 		if port.Send(f) {
 			sent++
@@ -106,7 +106,7 @@ func (p *PingPong) Run(rounds int, done func()) {
 	p.done = done
 	p.B.Handler = func(_ *netsim.Port, frame []byte) {
 		// Echo: swap addressing and bounce back.
-		echo := wire.BuildDataFrame(p.B.MAC, p.A.MAC, p.B.IP, p.A.IP,
+		echo := wire.BuildDataFrameInto(wire.DefaultPool, p.B.MAC, p.A.MAC, p.B.IP, p.A.IP,
 			2001, 9999, p.FrameLen, nil)
 		p.BPort.Send(echo)
 	}
@@ -124,7 +124,7 @@ func (p *PingPong) Run(rounds int, done func()) {
 
 func (p *PingPong) probe() {
 	p.sentAt = p.Engine.Now()
-	f := wire.BuildDataFrame(p.A.MAC, p.B.MAC, p.A.IP, p.B.IP, 2000, 9999, p.FrameLen, nil)
+	f := wire.BuildDataFrameInto(wire.DefaultPool, p.A.MAC, p.B.MAC, p.A.IP, p.B.IP, 2000, 9999, p.FrameLen, nil)
 	p.APort.Send(f)
 }
 

@@ -36,11 +36,14 @@ func NewHost(name string, id uint32) *Host {
 // Name implements Device.
 func (h *Host) Name() string { return h.name }
 
-// Receive implements Device: software handling, costing CPU.
+// Receive implements Device: software handling, costing CPU. The host is a
+// terminal consumer: the frame is recycled after Handler returns, so
+// handlers that keep payload bytes must copy them.
 func (h *Host) Receive(port *Port, frame []byte) {
 	h.CPUOps++
 	h.Received++
 	if h.Handler != nil {
 		h.Handler(port, frame)
 	}
+	wire.DefaultPool.Put(frame)
 }

@@ -10,6 +10,7 @@ package netsim
 import (
 	"fmt"
 
+	"gem/internal/fifo"
 	"gem/internal/sim"
 	"gem/internal/stats"
 	"gem/internal/wire"
@@ -60,7 +61,7 @@ type Port struct {
 	cfg   LinkConfig
 
 	busy    bool
-	txQueue [][]byte
+	txQueue fifo.Queue[[]byte]
 
 	// TxMeter and RxMeter count wire bytes including framing overhead.
 	TxMeter stats.Meter
@@ -82,7 +83,7 @@ func (p *Port) Index() int { return p.index }
 func (p *Port) Peer() *Port { return p.peer }
 
 // QueuedFrames reports the current transmit FIFO occupancy.
-func (p *Port) QueuedFrames() int { return len(p.txQueue) }
+func (p *Port) QueuedFrames() int { return p.txQueue.Len() }
 
 // RateBps returns the link's line rate in bits per second.
 func (p *Port) RateBps() float64 { return p.cfg.RateBps }
@@ -92,7 +93,9 @@ func (p *Port) String() string {
 }
 
 // Send queues frame for transmission toward the peer. It returns false if
-// the transmit FIFO is full and the frame was dropped.
+// the transmit FIFO is full and the frame was dropped. Ownership of the
+// frame buffer transfers to the port either way: a dropped frame is
+// recycled into wire.DefaultPool, so callers must not retain it.
 func (p *Port) Send(frame []byte) bool {
 	if p.peer == nil {
 		panic(fmt.Sprintf("netsim: send on unconnected port %s", p))
@@ -102,11 +105,12 @@ func (p *Port) Send(frame []byte) bool {
 		limit = DefaultTxQueue
 	}
 	if p.busy {
-		if len(p.txQueue) >= limit {
+		if p.txQueue.Len() >= limit {
 			p.TxDrops++
+			wire.DefaultPool.Put(frame)
 			return false
 		}
-		p.txQueue = append(p.txQueue, frame)
+		p.txQueue.Push(frame)
 		return true
 	}
 	p.transmit(frame)
@@ -129,17 +133,15 @@ func (p *Port) transmit(frame []byte) {
 	p.net.Engine.Schedule(txTime, func() {
 		if p.cfg.LossRate > 0 && p.net.Engine.Rand().Float64() < p.cfg.LossRate {
 			p.LossDrops++
+			wire.DefaultPool.Put(frame)
 		} else {
 			p.net.Engine.Schedule(p.cfg.Propagation, func() {
 				peer.RxMeter.Record(len(frame) + wire.EthernetFramingOverhead)
 				peer.dev.Receive(peer, frame)
 			})
 		}
-		if len(p.txQueue) > 0 {
-			next := p.txQueue[0]
-			copy(p.txQueue, p.txQueue[1:])
-			p.txQueue = p.txQueue[:len(p.txQueue)-1]
-			p.transmit(next)
+		if p.txQueue.Len() > 0 {
+			p.transmit(p.txQueue.Pop())
 		} else {
 			p.busy = false
 		}

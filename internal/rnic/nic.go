@@ -3,6 +3,7 @@ package rnic
 import (
 	"fmt"
 
+	"gem/internal/fifo"
 	"gem/internal/netsim"
 	"gem/internal/sim"
 	"gem/internal/wire"
@@ -110,7 +111,7 @@ type NIC struct {
 	// hardware is — inbound WRITEs/atomics consume the DMA-write path,
 	// READ service consumes the DMA-read path, and the two run
 	// concurrently. The RxRing bound applies to their sum.
-	wring, rring []pendingOp
+	wring, rring fifo.Queue[pendingOp]
 	wbusy, rbusy bool
 
 	// PFC state (Cfg.EnablePFC): whether a pause is in force toward the
@@ -188,28 +189,37 @@ func (n *NIC) Recover() { n.failed = false }
 // Failed reports whether the NIC is in the crashed state.
 func (n *NIC) Failed() bool { return n.failed }
 
-// Receive implements netsim.Device.
+// Receive implements netsim.Device. The NIC is the terminal consumer of
+// every RoCE frame it accepts: the frame buffer is recycled before Receive
+// returns (request/response handlers copy what they keep). Non-RoCE frames
+// pass ownership on to Owner's software stack.
 func (n *NIC) Receive(port *netsim.Port, frame []byte) {
 	if n.failed {
 		n.Stats.DroppedWhileFailed++
+		wire.DefaultPool.Put(frame)
 		return
 	}
 	var pkt wire.Packet
 	if err := pkt.DecodeFromBytes(frame); err != nil {
 		n.Stats.MalformedFrames++
+		wire.DefaultPool.Put(frame)
 		return
 	}
 	if pkt.Eth.Dst != n.MAC && !pkt.Eth.Dst.IsBroadcast() {
+		wire.DefaultPool.Put(frame)
 		return // not for us; a NIC filters by MAC
 	}
 	if !pkt.IsRoCE {
 		if n.Owner != nil {
 			n.Owner.Receive(port, frame)
+		} else {
+			wire.DefaultPool.Put(frame)
 		}
 		return
 	}
 	if !pkt.ICRCOK {
 		n.Stats.BadICRC++
+		wire.DefaultPool.Put(frame)
 		return
 	}
 	// Responses terminate at the requester engine.
@@ -217,9 +227,11 @@ func (n *NIC) Receive(port *netsim.Port, frame []byte) {
 		if n.req != nil {
 			n.req.handleResponse(&pkt)
 		}
+		wire.DefaultPool.Put(frame)
 		return
 	}
 	n.handleRequest(&pkt)
+	wire.DefaultPool.Put(frame)
 }
 
 func (n *NIC) handleRequest(pkt *wire.Packet) {
@@ -235,26 +247,30 @@ func (n *NIC) handleRequest(pkt *wire.Packet) {
 	// separate resources on real NICs); a write flood cannot starve READ
 	// admission.
 	op := pendingOp{pkt: *pkt, qp: qp}
-	if pkt.BTH.Opcode.IsWrite() {
-		op.payload = append([]byte(nil), pkt.Payload...)
-	}
+	// The frame buffer is recycled when Receive returns; the queued op must
+	// not alias it. The WRITE payload is the only slice view we keep.
+	op.pkt.Payload = nil
 	if pkt.BTH.Opcode == wire.OpReadRequest {
-		if len(n.rring) >= n.Cfg.RxRing {
+		if n.rring.Len() >= n.Cfg.RxRing {
 			n.Stats.RxRingDrops++
 			return
 		}
 		op.barrier = qp.writeSeq // read-after-write ordering point
-		n.rring = append(n.rring, op)
+		n.rring.Push(op)
 		if !n.rbusy {
 			n.executeNext(false)
 		}
 	} else {
-		if len(n.wring) >= n.Cfg.RxRing {
+		if n.wring.Len() >= n.Cfg.RxRing {
 			n.Stats.RxRingDrops++
 			return
 		}
+		if pkt.BTH.Opcode.IsWrite() {
+			op.payload = wire.DefaultPool.Get(len(pkt.Payload))
+			copy(op.payload, pkt.Payload)
+		}
 		qp.writeSeq++
-		n.wring = append(n.wring, op)
+		n.wring.Push(op)
 		if !n.wbusy {
 			n.executeNext(true)
 		}
@@ -267,7 +283,7 @@ func (n *NIC) updatePFC() {
 	if !n.Cfg.EnablePFC {
 		return
 	}
-	occupancy := len(n.wring) + len(n.rring)
+	occupancy := n.wring.Len() + n.rring.Len()
 	high := n.Cfg.RxRing * 3 / 4
 	low := n.Cfg.RxRing / 4
 	switch {
@@ -277,7 +293,7 @@ func (n *NIC) updatePFC() {
 	case n.pfcPaused && occupancy <= low:
 		n.pfcPaused = false
 		n.Stats.PFCResumes++
-		n.port.Send(wire.BuildPFC(n.MAC, 0))
+		n.port.Send(wire.BuildPFCInto(wire.DefaultPool, n.MAC, 0))
 	}
 }
 
@@ -288,7 +304,7 @@ func (n *NIC) sendPause() {
 		return
 	}
 	n.Stats.PFCPauses++
-	n.port.Send(wire.BuildPFC(n.MAC, 0xFFFF))
+	n.port.Send(wire.BuildPFCInto(wire.DefaultPool, n.MAC, 0xFFFF))
 	refresh := sim.Duration(0.7 * 65535 * wire.PFCQuantum * 1e9 / n.port.RateBps())
 	n.engine.Schedule(refresh, n.sendPause)
 }
@@ -323,7 +339,8 @@ func (n *NIC) admitPSN(qp *QP, pkt *wire.Packet) bool {
 		if pkt.BTH.Opcode.IsAtomic() {
 			if orig, ok := qp.replayAtomic(psn); ok {
 				// Replay the cached result rather than re-executing.
-				n.scheduleResponse(qp, wire.BuildAtomicAck(n.roceParams(qp, psn), qp.msn, orig))
+				params := n.roceParams(qp, psn)
+				n.scheduleResponse(qp, wire.BuildAtomicAckInto(wire.DefaultPool, &params, qp.msn, orig))
 			}
 			return false
 		}
@@ -362,7 +379,7 @@ func (n *NIC) executeNext(writeSide bool) {
 		ring = &n.wring
 		busy = &n.wbusy
 	}
-	if len(*ring) == 0 {
+	if ring.Len() == 0 {
 		*busy = false
 		return
 	}
@@ -370,16 +387,14 @@ func (n *NIC) executeNext(writeSide bool) {
 		// Honour the read-after-write barrier: the head READ may not
 		// start until its QP's earlier writes committed. Write
 		// completions re-kick this engine.
-		head := (*ring)[0]
+		head := ring.Peek()
 		if head.qp != nil && head.qp.writeDone < head.barrier {
 			*busy = false
 			return
 		}
 	}
 	*busy = true
-	op := (*ring)[0]
-	copy(*ring, (*ring)[1:])
-	*ring = (*ring)[:len(*ring)-1]
+	op := ring.Pop()
 
 	// occupancy is how long the op holds its execution pipeline (this is
 	// what caps throughput); ProcessingDelay is added latency only — real
@@ -413,6 +428,8 @@ func (n *NIC) complete(op *pendingOp) {
 	switch opc := op.pkt.BTH.Opcode; {
 	case opc.IsWrite():
 		n.completeWrite(qp, op)
+		wire.DefaultPool.Put(op.payload) // copied into the region (or NAKed)
+		op.payload = nil
 	case opc == wire.OpReadRequest:
 		n.completeRead(qp, op)
 	case opc.IsAtomic():
@@ -490,7 +507,7 @@ func (n *NIC) completeRead(qp *QP, op *pendingOp) {
 			opc = wire.OpReadResponseMiddle
 		}
 		params := n.roceParams(qp, (op.pkt.BTH.PSN+uint32(i))&0xFFFFFF)
-		n.scheduleResponse(qp, wire.BuildReadResponse(params, opc, qp.msn, data[lo:hi]))
+		n.scheduleResponse(qp, wire.BuildReadResponseInto(wire.DefaultPool, &params, opc, qp.msn, data[lo:hi]))
 	}
 }
 
@@ -514,11 +531,14 @@ func (n *NIC) completeAtomic(qp *QP, op *pendingOp) {
 	n.Stats.ExecAtomics++
 	qp.msn = (qp.msn + 1) & 0xFFFFFF
 	qp.rememberAtomic(op.pkt.BTH.PSN, orig)
-	n.scheduleResponse(qp, wire.BuildAtomicAck(n.roceParams(qp, op.pkt.BTH.PSN), qp.msn, orig))
+	params := n.roceParams(qp, op.pkt.BTH.PSN)
+	n.scheduleResponse(qp, wire.BuildAtomicAckInto(wire.DefaultPool, &params, qp.msn, orig))
 }
 
-func (n *NIC) roceParams(qp *QP, psn uint32) *wire.RoCEParams {
-	return &wire.RoCEParams{
+// roceParams returns response addressing by value so the params stay on the
+// caller's stack (the builders only read through the pointer).
+func (n *NIC) roceParams(qp *QP, psn uint32) wire.RoCEParams {
+	return wire.RoCEParams{
 		SrcMAC: n.MAC, DstMAC: qp.PeerMAC,
 		SrcIP: n.IP, DstIP: qp.PeerIP,
 		UDPSrcPort: udpEntropy(qp.Number),
@@ -531,12 +551,14 @@ func (n *NIC) roceParams(qp *QP, psn uint32) *wire.RoCEParams {
 // whose execution completed, never a merely-admitted one.
 func (n *NIC) sendAck(qp *QP, psn uint32) {
 	n.Stats.AcksSent++
-	n.scheduleResponse(qp, wire.BuildAck(n.roceParams(qp, psn), wire.AETHAck, qp.msn))
+	params := n.roceParams(qp, psn)
+	n.scheduleResponse(qp, wire.BuildAckInto(wire.DefaultPool, &params, wire.AETHAck, qp.msn))
 }
 
 func (n *NIC) sendNak(qp *QP, syndrome uint8) {
 	n.Stats.NaksSent++
-	n.scheduleResponse(qp, wire.BuildAck(n.roceParams(qp, qp.ePSN), syndrome, qp.msn))
+	params := n.roceParams(qp, qp.ePSN)
+	n.scheduleResponse(qp, wire.BuildAckInto(wire.DefaultPool, &params, syndrome, qp.msn))
 }
 
 func (n *NIC) scheduleResponse(qp *QP, frame []byte) {
@@ -545,6 +567,7 @@ func (n *NIC) scheduleResponse(qp *QP, frame []byte) {
 	// it delays each response without occupying the execution engine).
 	n.engine.Schedule(n.Cfg.ProcessingDelay, func() {
 		if n.failed {
+			wire.DefaultPool.Put(frame) // crashed mid-flight: never sent
 			return
 		}
 		n.port.Send(frame)

@@ -3,6 +3,7 @@ package rnic
 import (
 	"fmt"
 
+	"gem/internal/fifo"
 	"gem/internal/sim"
 	"gem/internal/wire"
 )
@@ -26,8 +27,8 @@ type Requester struct {
 	ackedPSN uint32 // cumulative: all PSNs before this are acknowledged
 	window   int    // max unacknowledged packets in flight
 
-	pending  []*workRequest // posted, not fully transmitted
-	inflight []*sentPacket  // transmitted, not acknowledged
+	pending  fifo.Queue[*workRequest] // posted, not fully transmitted
+	inflight []*sentPacket            // transmitted, not acknowledged
 
 	timeout sim.Duration
 	timer   *sim.Event
@@ -57,6 +58,10 @@ type workRequest struct {
 	onAtomic func(orig uint64)
 }
 
+// sentPacket retains the master copy of a transmitted packet for go-back-N
+// retransmission. The master never enters the fabric: every (re)send puts a
+// pooled copy on the wire, and the master is recycled when the packet
+// retires (ack/completion).
 type sentPacket struct {
 	psn   uint32
 	frame []byte
@@ -111,7 +116,7 @@ func (r *Requester) PostCompareSwap(va uint64, rkey uint32, compare, swap uint64
 }
 
 func (r *Requester) post(wr *workRequest) {
-	r.pending = append(r.pending, wr)
+	r.pending.Push(wr)
 	r.pump()
 }
 
@@ -120,12 +125,11 @@ func (r *Requester) OutstandingPackets() int { return len(r.inflight) }
 
 // pump transmits pending work while window space remains.
 func (r *Requester) pump() {
-	for len(r.pending) > 0 && len(r.inflight) < r.window {
-		wr := r.pending[0]
-		if !r.transmit(wr) {
+	for r.pending.Len() > 0 && len(r.inflight) < r.window {
+		if !r.transmit(r.pending.Peek()) {
 			return
 		}
-		r.pending = r.pending[1:]
+		r.pending.Pop()
 	}
 }
 
@@ -155,13 +159,13 @@ func (r *Requester) transmit(wr *workRequest) bool {
 			var frame []byte
 			switch {
 			case pkts == 1:
-				frame = wire.BuildWriteOnly(p, wr.va, wr.rkey, chunk)
+				frame = wire.BuildWriteOnlyInto(wire.DefaultPool, &p, wr.va, wr.rkey, chunk)
 			case i == 0:
-				frame = wire.BuildWriteFirst(p, wr.va, wr.rkey, uint32(len(wr.data)), chunk)
+				frame = wire.BuildWriteFirstInto(wire.DefaultPool, &p, wr.va, wr.rkey, uint32(len(wr.data)), chunk)
 			case i == pkts-1:
-				frame = wire.BuildWriteLast(p, chunk)
+				frame = wire.BuildWriteLastInto(wire.DefaultPool, &p, chunk)
 			default:
-				frame = wire.BuildWriteMiddle(p, chunk)
+				frame = wire.BuildWriteMiddleInto(wire.DefaultPool, &p, chunk)
 			}
 			r.send((r.sPSN+uint32(i))&0xFFFFFF, frame, wr)
 		}
@@ -174,17 +178,19 @@ func (r *Requester) transmit(wr *workRequest) bool {
 		wr.firstPSN = r.sPSN
 		wr.lastPSN = (r.sPSN + uint32(pkts) - 1) & 0xFFFFFF
 		wr.buf = make([]byte, wr.length)
-		frame := wire.BuildReadRequest(r.params(r.sPSN, true), wr.va, wr.rkey, uint32(wr.length))
+		p := r.params(r.sPSN, true)
+		frame := wire.BuildReadRequestInto(wire.DefaultPool, &p, wr.va, wr.rkey, uint32(wr.length))
 		r.send(r.sPSN, frame, wr)
 		r.sPSN = (r.sPSN + uint32(pkts)) & 0xFFFFFF
 	case wire.OpFetchAdd, wire.OpCompareSwap:
 		wr.firstPSN = r.sPSN
 		wr.lastPSN = r.sPSN
+		p := r.params(r.sPSN, true)
 		var frame []byte
 		if wr.opcode == wire.OpFetchAdd {
-			frame = wire.BuildFetchAdd(r.params(r.sPSN, true), wr.va, wr.rkey, wr.add)
+			frame = wire.BuildFetchAddInto(wire.DefaultPool, &p, wr.va, wr.rkey, wr.add)
 		} else {
-			frame = wire.BuildCompareSwap(r.params(r.sPSN, true), wr.va, wr.rkey, wr.compare, wr.add)
+			frame = wire.BuildCompareSwapInto(wire.DefaultPool, &p, wr.va, wr.rkey, wr.compare, wr.add)
 		}
 		r.send(r.sPSN, frame, wr)
 		r.sPSN = (r.sPSN + 1) & 0xFFFFFF
@@ -194,8 +200,8 @@ func (r *Requester) transmit(wr *workRequest) bool {
 	return true
 }
 
-func (r *Requester) params(psn uint32, ackReq bool) *wire.RoCEParams {
-	return &wire.RoCEParams{
+func (r *Requester) params(psn uint32, ackReq bool) wire.RoCEParams {
+	return wire.RoCEParams{
 		SrcMAC: r.nic.MAC, DstMAC: r.peerMAC,
 		SrcIP: r.nic.IP, DstIP: r.peerIP,
 		UDPSrcPort: udpEntropy(r.localQPN),
@@ -205,8 +211,16 @@ func (r *Requester) params(psn uint32, ackReq bool) *wire.RoCEParams {
 
 func (r *Requester) send(psn uint32, frame []byte, wr *workRequest) {
 	r.inflight = append(r.inflight, &sentPacket{psn: psn, frame: frame, wr: wr})
-	r.nic.port.Send(frame)
+	r.sendCopy(frame)
 	r.armTimer()
+}
+
+// sendCopy transmits a pooled copy of a retained master frame: the fabric
+// owns (and recycles) what it is handed, so the master must never be sent.
+func (r *Requester) sendCopy(frame []byte) {
+	c := wire.DefaultPool.Get(len(frame))
+	copy(c, frame)
+	r.nic.port.Send(c)
 }
 
 func (r *Requester) armTimer() {
@@ -225,7 +239,7 @@ func (r *Requester) retransmit() {
 	r.timer = nil
 	for _, sp := range r.inflight {
 		r.Retransmits++
-		r.nic.port.Send(sp.frame)
+		r.sendCopy(sp.frame)
 	}
 	r.armTimer()
 }
@@ -264,11 +278,21 @@ func (r *Requester) ackThrough(acked uint32) {
 					sp.wr.onWrite()
 				}
 			}
+			wire.DefaultPool.Put(sp.frame) // retired: master no longer needed
 			continue
 		}
 		keep = append(keep, sp)
 	}
+	clearTail(r.inflight[len(keep):])
 	r.inflight = keep
+}
+
+// clearTail nils the filtered-out tail slots so retired packets are not
+// pinned by the backing array.
+func clearTail(tail []*sentPacket) {
+	for i := range tail {
+		tail[i] = nil
+	}
 }
 
 func (r *Requester) handleReadResponse(pkt *wire.Packet) {
@@ -321,7 +345,10 @@ func (r *Requester) dropInflight(wr *workRequest) {
 	for _, sp := range r.inflight {
 		if sp.wr != wr {
 			keep = append(keep, sp)
+		} else {
+			wire.DefaultPool.Put(sp.frame) // retired: master no longer needed
 		}
 	}
+	clearTail(r.inflight[len(keep):])
 	r.inflight = keep
 }

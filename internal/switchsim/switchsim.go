@@ -14,6 +14,7 @@ package switchsim
 import (
 	"fmt"
 
+	"gem/internal/fifo"
 	"gem/internal/netsim"
 	"gem/internal/sim"
 	"gem/internal/wire"
@@ -116,8 +117,8 @@ type Stats struct {
 const RecirculationPort = -1
 
 type egressQueue struct {
-	frames [][]byte // best-effort FIFO
-	prio   [][]byte // strict-priority FIFO (RDMAPriority)
+	frames fifo.Queue[[]byte] // best-effort FIFO
+	prio   fifo.Queue[[]byte] // strict-priority FIFO (RDMAPriority)
 	bytes  int
 	busy   bool
 	// pausedUntil implements 802.1Qbb: the port does not transmit before
@@ -213,6 +214,7 @@ func (s *Switch) Receive(port *netsim.Port, frame []byte) {
 	if wire.IsMACControl(frame) {
 		if pfc, ok := wire.DecodePFC(frame); ok {
 			s.handlePFC(in, &pfc)
+			wire.DefaultPool.Put(frame) // consumed at the MAC layer
 			return
 		}
 	}
@@ -265,6 +267,12 @@ func (s *Switch) runPipeline(inPort int, frame []byte) {
 	if !ctx.emitted && !ctx.dropped {
 		s.Stats.NoRoute++
 	}
+	if ctx.dropped && !ctx.emitted {
+		// The pipeline consciously dropped the frame and nothing was
+		// enqueued: the switch is its terminal consumer. Handlers that keep
+		// payload bytes copy them first (see the Drop contract).
+		wire.DefaultPool.Put(frame)
+	}
 }
 
 // enqueue places frame on the egress queue of port, enforcing buffer limits.
@@ -279,6 +287,7 @@ func (s *Switch) enqueue(port int, frame []byte) bool {
 			s.Stats.FirstBufferDrop = s.Engine.Now()
 		}
 		s.Stats.BufferDrops++
+		wire.DefaultPool.Put(frame) // tail drop: buffer is recycled
 		return false
 	}
 	if s.Cfg.ECNThresholdBytes > 0 && q.bytes >= s.Cfg.ECNThresholdBytes {
@@ -287,9 +296,9 @@ func (s *Switch) enqueue(port int, frame []byte) bool {
 		}
 	}
 	if s.Cfg.RDMAPriority && isRoCEFrame(frame) {
-		q.prio = append(q.prio, frame)
+		q.prio.Push(frame)
 	} else {
-		q.frames = append(q.frames, frame)
+		q.frames.Push(frame)
 	}
 	q.bytes += n
 	s.bufUsed += n
@@ -309,18 +318,16 @@ func (s *Switch) enqueue(port int, frame []byte) bool {
 // the strict-priority class first.
 func (s *Switch) transmitNext(port int) {
 	q := s.queues[port]
-	if (len(q.frames) == 0 && len(q.prio) == 0) || s.Engine.Now() < q.pausedUntil {
+	if (q.frames.Len() == 0 && q.prio.Len() == 0) || s.Engine.Now() < q.pausedUntil {
 		q.busy = false
 		return
 	}
 	q.busy = true
 	var frame []byte
-	if len(q.prio) > 0 {
-		frame = q.prio[0]
-		q.prio = q.prio[1:]
+	if q.prio.Len() > 0 {
+		frame = q.prio.Pop()
 	} else {
-		frame = q.frames[0]
-		q.frames = q.frames[1:]
+		frame = q.frames.Pop()
 	}
 	p := s.ports[port]
 	if s.TraceFn != nil {
@@ -420,8 +427,10 @@ func (c *Context) Switch() *Switch { return c.sw }
 func (c *Context) Now() sim.Time { return c.sw.Engine.Now() }
 
 // Emit queues frame for egress on port. It may be called multiple times
-// (clone/mirror). It reports whether the frame was accepted (false = tail
-// drop at the buffer).
+// (clone/mirror), but each call must pass a distinct buffer — ownership of
+// frame transfers to the traffic manager, which recycles it on tail drop
+// and after terminal consumption, so clones must be copies. It reports
+// whether the frame was accepted (false = tail drop at the buffer).
 func (c *Context) Emit(port int, frame []byte) bool {
 	if port < 0 || port >= len(c.sw.ports) {
 		panic(fmt.Sprintf("switchsim: emit to invalid port %d", port))

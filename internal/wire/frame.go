@@ -38,46 +38,55 @@ func RoCEv1WireLen(extLen, payloadLen int) int {
 	return roceV1FixedLen + extLen + payloadLen + ICRCLen
 }
 
-// buildRoCE assembles a complete RoCE frame in the encapsulation the
-// params select. exts are encoded in order after the BTH; payload follows;
-// the ICRC trails.
-func buildRoCE(p *RoCEParams, opcode Opcode, exts []interface{ Put([]byte) int }, extLen int, payload []byte) []byte {
-	if p.Version == RoCEv1 {
-		return buildRoCEv1(p, opcode, exts, extLen, payload)
+// roceLen returns the frame length of a RoCE packet in either
+// encapsulation.
+func roceLen(v RoCEVersion, extLen, payloadLen int) int {
+	if v == RoCEv1 {
+		return RoCEv1WireLen(extLen, payloadLen)
 	}
-	total := RoCEWireLen(extLen, len(payload))
-	frame := make([]byte, total)
-
-	eth := Ethernet{Dst: p.DstMAC, Src: p.SrcMAC, EtherType: EtherTypeIPv4}
-	off := eth.Put(frame)
-
-	ip := IPv4{
-		DSCP:     46, // expedited forwarding: RDMA traffic is prioritized
-		TotalLen: uint16(total - EthernetLen),
-		DontFrag: true,
-		TTL:      64,
-		Protocol: ProtoUDP,
-		Src:      p.SrcIP,
-		Dst:      p.DstIP,
-	}
-	off += ip.Put(frame[off:])
-
-	udp := UDP{
-		SrcPort: p.UDPSrcPort,
-		DstPort: UDPPortRoCEv2,
-		Length:  uint16(total - EthernetLen - IPv4Len),
-	}
-	off += udp.Put(frame[off:])
-
-	off += putBTHExts(frame[off:], p, opcode, exts)
-	off += copy(frame[off:], payload)
-	putICRC(frame)
-	return frame
+	return RoCEWireLen(extLen, payloadLen)
 }
 
-// putBTHExts writes the BTH and extension headers common to both
-// encapsulations.
-func putBTHExts(b []byte, p *RoCEParams, opcode Opcode, exts []interface{ Put([]byte) int }) int {
+// putRoCEPrefix writes the headers up to and including the BTH —
+// Eth+IPv4+UDP (RoCEv2) or Eth+GRH (RoCEv1) — into frame, whose length must
+// already be the full wire length. It returns the offset where extension
+// headers (or the payload) continue. No allocation: all header structs stay
+// on the caller's stack.
+func putRoCEPrefix(frame []byte, p *RoCEParams, opcode Opcode) int {
+	total := len(frame)
+	var off int
+	if p.Version == RoCEv1 {
+		eth := Ethernet{Dst: p.DstMAC, Src: p.SrcMAC, EtherType: EtherTypeRoCEv1}
+		off = eth.Put(frame)
+		grh := GRH{
+			TClass:     46 << 2,
+			PayLen:     uint16(total - EthernetLen - GRHLen),
+			NextHeader: GRHNextHeaderIBA,
+			HopLimit:   64,
+			SGID:       V4MappedGID(p.SrcIP),
+			DGID:       V4MappedGID(p.DstIP),
+		}
+		off += grh.Put(frame[off:])
+	} else {
+		eth := Ethernet{Dst: p.DstMAC, Src: p.SrcMAC, EtherType: EtherTypeIPv4}
+		off = eth.Put(frame)
+		ip := IPv4{
+			DSCP:     46, // expedited forwarding: RDMA traffic is prioritized
+			TotalLen: uint16(total - EthernetLen),
+			DontFrag: true,
+			TTL:      64,
+			Protocol: ProtoUDP,
+			Src:      p.SrcIP,
+			Dst:      p.DstIP,
+		}
+		off += ip.Put(frame[off:])
+		udp := UDP{
+			SrcPort: p.UDPSrcPort,
+			DstPort: UDPPortRoCEv2,
+			Length:  uint16(total - EthernetLen - IPv4Len),
+		}
+		off += udp.Put(frame[off:])
+	}
 	bth := BTH{
 		Opcode: opcode,
 		PKey:   DefaultPKey,
@@ -85,121 +94,193 @@ func putBTHExts(b []byte, p *RoCEParams, opcode Opcode, exts []interface{ Put([]
 		AckReq: p.AckReq,
 		PSN:    p.PSN & 0xFFFFFF,
 	}
-	off := bth.Put(b)
-	for _, e := range exts {
-		off += e.Put(b[off:])
-	}
-	return off
+	return off + bth.Put(frame[off:])
 }
 
-// buildRoCEv1 assembles the GRH-over-Ethernet encapsulation.
-func buildRoCEv1(p *RoCEParams, opcode Opcode, exts []interface{ Put([]byte) int }, extLen int, payload []byte) []byte {
-	total := RoCEv1WireLen(extLen, len(payload))
-	frame := make([]byte, total)
-
-	eth := Ethernet{Dst: p.DstMAC, Src: p.SrcMAC, EtherType: EtherTypeRoCEv1}
-	off := eth.Put(frame)
-
-	grh := GRH{
-		TClass:     46 << 2,
-		PayLen:     uint16(total - EthernetLen - GRHLen),
-		NextHeader: GRHNextHeaderIBA,
-		HopLimit:   64,
-		SGID:       V4MappedGID(p.SrcIP),
-		DGID:       V4MappedGID(p.DstIP),
-	}
-	off += grh.Put(frame[off:])
-
-	off += putBTHExts(frame[off:], p, opcode, exts)
-	off += copy(frame[off:], payload)
+// finishRoCE copies the payload at off and seals the trailing ICRC.
+func finishRoCE(frame []byte, off int, payload []byte) {
+	copy(frame[off:], payload)
 	putICRC(frame)
+}
+
+// BuildWriteOnlyInto crafts an RDMA WRITE Only request carrying payload to
+// remote address va under rkey, drawing the frame buffer from pool (nil =
+// plain allocation). The caller owns the returned frame; handing it to the
+// fabric (Send/Inject/Emit) transfers ownership.
+func BuildWriteOnlyInto(pool *Pool, p *RoCEParams, va uint64, rkey uint32, payload []byte) []byte {
+	frame := pool.Get(roceLen(p.Version, RETHLen, len(payload)))
+	off := putRoCEPrefix(frame, p, OpWriteOnly)
+	reth := RETH{VA: va, RKey: rkey, DMALen: uint32(len(payload))}
+	off += reth.Put(frame[off:])
+	finishRoCE(frame, off, payload)
 	return frame
 }
 
-// BuildWriteOnly crafts an RDMA WRITE Only request carrying payload to
-// remote address va under rkey.
+// BuildWriteOnly is BuildWriteOnlyInto on the allocating path.
 func BuildWriteOnly(p *RoCEParams, va uint64, rkey uint32, payload []byte) []byte {
-	reth := &RETH{VA: va, RKey: rkey, DMALen: uint32(len(payload))}
-	return buildRoCE(p, OpWriteOnly, []interface{ Put([]byte) int }{reth}, RETHLen, payload)
+	return BuildWriteOnlyInto(nil, p, va, rkey, payload)
 }
 
-// BuildWriteFirst crafts the first packet of a multi-packet WRITE of
+// BuildWriteFirstInto crafts the first packet of a multi-packet WRITE of
 // dmaLen total bytes.
+func BuildWriteFirstInto(pool *Pool, p *RoCEParams, va uint64, rkey uint32, dmaLen uint32, payload []byte) []byte {
+	frame := pool.Get(roceLen(p.Version, RETHLen, len(payload)))
+	off := putRoCEPrefix(frame, p, OpWriteFirst)
+	reth := RETH{VA: va, RKey: rkey, DMALen: dmaLen}
+	off += reth.Put(frame[off:])
+	finishRoCE(frame, off, payload)
+	return frame
+}
+
+// BuildWriteFirst is BuildWriteFirstInto on the allocating path.
 func BuildWriteFirst(p *RoCEParams, va uint64, rkey uint32, dmaLen uint32, payload []byte) []byte {
-	reth := &RETH{VA: va, RKey: rkey, DMALen: dmaLen}
-	return buildRoCE(p, OpWriteFirst, []interface{ Put([]byte) int }{reth}, RETHLen, payload)
+	return BuildWriteFirstInto(nil, p, va, rkey, dmaLen, payload)
 }
 
-// BuildWriteMiddle crafts a middle packet of a multi-packet WRITE.
+// BuildWriteMiddleInto crafts a middle packet of a multi-packet WRITE.
+func BuildWriteMiddleInto(pool *Pool, p *RoCEParams, payload []byte) []byte {
+	frame := pool.Get(roceLen(p.Version, 0, len(payload)))
+	off := putRoCEPrefix(frame, p, OpWriteMiddle)
+	finishRoCE(frame, off, payload)
+	return frame
+}
+
+// BuildWriteMiddle is BuildWriteMiddleInto on the allocating path.
 func BuildWriteMiddle(p *RoCEParams, payload []byte) []byte {
-	return buildRoCE(p, OpWriteMiddle, nil, 0, payload)
+	return BuildWriteMiddleInto(nil, p, payload)
 }
 
-// BuildWriteLast crafts the last packet of a multi-packet WRITE.
+// BuildWriteLastInto crafts the last packet of a multi-packet WRITE.
+func BuildWriteLastInto(pool *Pool, p *RoCEParams, payload []byte) []byte {
+	frame := pool.Get(roceLen(p.Version, 0, len(payload)))
+	off := putRoCEPrefix(frame, p, OpWriteLast)
+	finishRoCE(frame, off, payload)
+	return frame
+}
+
+// BuildWriteLast is BuildWriteLastInto on the allocating path.
 func BuildWriteLast(p *RoCEParams, payload []byte) []byte {
-	return buildRoCE(p, OpWriteLast, nil, 0, payload)
+	return BuildWriteLastInto(nil, p, payload)
 }
 
-// BuildReadRequest crafts an RDMA READ request for dmaLen bytes at va.
+// BuildReadRequestInto crafts an RDMA READ request for dmaLen bytes at va.
+func BuildReadRequestInto(pool *Pool, p *RoCEParams, va uint64, rkey uint32, dmaLen uint32) []byte {
+	frame := pool.Get(roceLen(p.Version, RETHLen, 0))
+	off := putRoCEPrefix(frame, p, OpReadRequest)
+	reth := RETH{VA: va, RKey: rkey, DMALen: dmaLen}
+	off += reth.Put(frame[off:])
+	finishRoCE(frame, off, nil)
+	return frame
+}
+
+// BuildReadRequest is BuildReadRequestInto on the allocating path.
 func BuildReadRequest(p *RoCEParams, va uint64, rkey uint32, dmaLen uint32) []byte {
-	reth := &RETH{VA: va, RKey: rkey, DMALen: dmaLen}
-	return buildRoCE(p, OpReadRequest, []interface{ Put([]byte) int }{reth}, RETHLen, nil)
+	return BuildReadRequestInto(nil, p, va, rkey, dmaLen)
 }
 
-// BuildFetchAdd crafts an atomic Fetch-and-Add request adding delta to the
-// 8-byte word at va.
+// BuildFetchAddInto crafts an atomic Fetch-and-Add request adding delta to
+// the 8-byte word at va.
+func BuildFetchAddInto(pool *Pool, p *RoCEParams, va uint64, rkey uint32, delta uint64) []byte {
+	frame := pool.Get(roceLen(p.Version, AtomicETHLen, 0))
+	off := putRoCEPrefix(frame, p, OpFetchAdd)
+	ae := AtomicETH{VA: va, RKey: rkey, SwapAdd: delta}
+	off += ae.Put(frame[off:])
+	finishRoCE(frame, off, nil)
+	return frame
+}
+
+// BuildFetchAdd is BuildFetchAddInto on the allocating path.
 func BuildFetchAdd(p *RoCEParams, va uint64, rkey uint32, delta uint64) []byte {
-	ae := &AtomicETH{VA: va, RKey: rkey, SwapAdd: delta}
-	return buildRoCE(p, OpFetchAdd, []interface{ Put([]byte) int }{ae}, AtomicETHLen, nil)
+	return BuildFetchAddInto(nil, p, va, rkey, delta)
 }
 
-// BuildCompareSwap crafts an atomic Compare-and-Swap request.
+// BuildCompareSwapInto crafts an atomic Compare-and-Swap request.
+func BuildCompareSwapInto(pool *Pool, p *RoCEParams, va uint64, rkey uint32, compare, swap uint64) []byte {
+	frame := pool.Get(roceLen(p.Version, AtomicETHLen, 0))
+	off := putRoCEPrefix(frame, p, OpCompareSwap)
+	ae := AtomicETH{VA: va, RKey: rkey, SwapAdd: swap, Compare: compare}
+	off += ae.Put(frame[off:])
+	finishRoCE(frame, off, nil)
+	return frame
+}
+
+// BuildCompareSwap is BuildCompareSwapInto on the allocating path.
 func BuildCompareSwap(p *RoCEParams, va uint64, rkey uint32, compare, swap uint64) []byte {
-	ae := &AtomicETH{VA: va, RKey: rkey, SwapAdd: swap, Compare: compare}
-	return buildRoCE(p, OpCompareSwap, []interface{ Put([]byte) int }{ae}, AtomicETHLen, nil)
+	return BuildCompareSwapInto(nil, p, va, rkey, compare, swap)
 }
 
-// BuildReadResponse crafts a READ response packet of the given flavour
+// BuildReadResponseInto crafts a READ response packet of the given flavour
 // (Only/First/Middle/Last). First/Only/Last carry an AETH.
-func BuildReadResponse(p *RoCEParams, opcode Opcode, msn uint32, payload []byte) []byte {
+func BuildReadResponseInto(pool *Pool, p *RoCEParams, opcode Opcode, msn uint32, payload []byte) []byte {
 	switch opcode {
 	case OpReadResponseOnly, OpReadResponseFirst, OpReadResponseLast:
-		ae := &AETH{Syndrome: AETHAck, MSN: msn & 0xFFFFFF}
-		return buildRoCE(p, opcode, []interface{ Put([]byte) int }{ae}, AETHLen, payload)
+		frame := pool.Get(roceLen(p.Version, AETHLen, len(payload)))
+		off := putRoCEPrefix(frame, p, opcode)
+		ae := AETH{Syndrome: AETHAck, MSN: msn & 0xFFFFFF}
+		off += ae.Put(frame[off:])
+		finishRoCE(frame, off, payload)
+		return frame
 	case OpReadResponseMiddle:
-		return buildRoCE(p, opcode, nil, 0, payload)
+		frame := pool.Get(roceLen(p.Version, 0, len(payload)))
+		off := putRoCEPrefix(frame, p, opcode)
+		finishRoCE(frame, off, payload)
+		return frame
 	default:
 		panic(fmt.Sprintf("wire: %v is not a read response opcode", opcode))
 	}
 }
 
-// BuildAck crafts an ACK (or NAK, per syndrome) packet.
+// BuildReadResponse is BuildReadResponseInto on the allocating path.
+func BuildReadResponse(p *RoCEParams, opcode Opcode, msn uint32, payload []byte) []byte {
+	return BuildReadResponseInto(nil, p, opcode, msn, payload)
+}
+
+// BuildAckInto crafts an ACK (or NAK, per syndrome) packet.
+func BuildAckInto(pool *Pool, p *RoCEParams, syndrome uint8, msn uint32) []byte {
+	frame := pool.Get(roceLen(p.Version, AETHLen, 0))
+	off := putRoCEPrefix(frame, p, OpAcknowledge)
+	ae := AETH{Syndrome: syndrome, MSN: msn & 0xFFFFFF}
+	off += ae.Put(frame[off:])
+	finishRoCE(frame, off, nil)
+	return frame
+}
+
+// BuildAck is BuildAckInto on the allocating path.
 func BuildAck(p *RoCEParams, syndrome uint8, msn uint32) []byte {
-	ae := &AETH{Syndrome: syndrome, MSN: msn & 0xFFFFFF}
-	return buildRoCE(p, OpAcknowledge, []interface{ Put([]byte) int }{ae}, AETHLen, nil)
+	return BuildAckInto(nil, p, syndrome, msn)
 }
 
-// BuildAtomicAck crafts an atomic acknowledge carrying the original value.
+// BuildAtomicAckInto crafts an atomic acknowledge carrying the original
+// value.
+func BuildAtomicAckInto(pool *Pool, p *RoCEParams, msn uint32, orig uint64) []byte {
+	frame := pool.Get(roceLen(p.Version, AETHLen+AtomicAckETHLen, 0))
+	off := putRoCEPrefix(frame, p, OpAtomicAcknowledge)
+	ae := AETH{Syndrome: AETHAck, MSN: msn & 0xFFFFFF}
+	off += ae.Put(frame[off:])
+	aa := AtomicAckETH{OrigData: orig}
+	off += aa.Put(frame[off:])
+	finishRoCE(frame, off, nil)
+	return frame
+}
+
+// BuildAtomicAck is BuildAtomicAckInto on the allocating path.
 func BuildAtomicAck(p *RoCEParams, msn uint32, orig uint64) []byte {
-	ae := &AETH{Syndrome: AETHAck, MSN: msn & 0xFFFFFF}
-	aa := &AtomicAckETH{OrigData: orig}
-	return buildRoCE(p, OpAtomicAcknowledge,
-		[]interface{ Put([]byte) int }{ae, aa}, AETHLen+AtomicAckETHLen, nil)
+	return BuildAtomicAckInto(nil, p, msn, orig)
 }
 
-// BuildDataFrame assembles a plain (non-RoCE) Ethernet/IPv4/UDP frame of
-// exactly frameLen bytes (padding the payload as needed), as emitted by the
-// traffic generators standing in for raw_ethernet_bw and NetPIPE. frameLen
-// excludes framing overhead. The payload occupies the space after the UDP
-// header.
-func BuildDataFrame(srcMAC, dstMAC MAC, srcIP, dstIP IP4, srcPort, dstPort uint16, frameLen int, payload []byte) []byte {
+// BuildDataFrameInto assembles a plain (non-RoCE) Ethernet/IPv4/UDP frame
+// of exactly frameLen bytes (padding the payload as needed), as emitted by
+// the traffic generators standing in for raw_ethernet_bw and NetPIPE.
+// frameLen excludes framing overhead. The payload occupies the space after
+// the UDP header.
+func BuildDataFrameInto(pool *Pool, srcMAC, dstMAC MAC, srcIP, dstIP IP4, srcPort, dstPort uint16, frameLen int, payload []byte) []byte {
 	if frameLen < MinFrameSize {
 		frameLen = MinFrameSize
 	}
 	if min := EthernetLen + IPv4Len + UDPLen + len(payload); frameLen < min {
 		frameLen = min
 	}
-	frame := make([]byte, frameLen)
+	frame := pool.Get(frameLen)
 	eth := Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4}
 	off := eth.Put(frame)
 	ip := IPv4{
@@ -216,8 +297,15 @@ func BuildDataFrame(srcMAC, dstMAC MAC, srcIP, dstIP IP4, srcPort, dstPort uint1
 		Length:  uint16(frameLen - EthernetLen - IPv4Len),
 	}
 	off += udp.Put(frame[off:])
-	copy(frame[off:], payload)
+	off += copy(frame[off:], payload)
+	// Pooled buffers carry stale bytes; the padding must be zero.
+	clear(frame[off:])
 	return frame
+}
+
+// BuildDataFrame is BuildDataFrameInto on the allocating path.
+func BuildDataFrame(srcMAC, dstMAC MAC, srcIP, dstIP IP4, srcPort, dstPort uint16, frameLen int, payload []byte) []byte {
+	return BuildDataFrameInto(nil, srcMAC, dstMAC, srcIP, dstIP, srcPort, dstPort, frameLen, payload)
 }
 
 // Packet is a fully parsed frame. Decode methods fill it in place without
@@ -373,32 +461,50 @@ func (p *Packet) decodeRoCE(frame, rest []byte) error {
 // simulation compute it the same way, so corruption and truncation are
 // detectable, which is what the primitives rely on.
 
-func icrcInput(frame []byte) ([]byte, bool) {
+// icrcFF feeds Update the masked 0xFF substitutions without copying.
+var icrcFF = [2]byte{0xFF, 0xFF}
+
+// computeICRC runs CRC-32 incrementally over the frame's body slices,
+// substituting the masked bytes in place of a full body copy. Chaining
+// crc32.Update over sub-slices is bit-identical to ChecksumIEEE over the
+// concatenation, so the wire format is unchanged.
+func computeICRC(frame []byte) (uint32, bool) {
 	v1 := IsRoCEv1Frame(frame)
 	min := roceFixedLen
 	if v1 {
 		min = roceV1FixedLen
 	}
 	if len(frame) < min+ICRCLen {
-		return nil, false
+		return 0, false
 	}
-	body := make([]byte, len(frame)-EthernetLen-ICRCLen)
-	copy(body, frame[EthernetLen:len(frame)-ICRCLen])
+	b := frame[EthernetLen : len(frame)-ICRCLen]
+	t := crc32.IEEETable
+	var crc uint32
 	if v1 {
-		// Mask the variant GRH fields: traffic class and hop limit.
-		body[0] |= 0x0F
-		body[1] |= 0xF0
-		body[7] = 0xFF        // hop limit
-		body[GRHLen+4] = 0xFF // BTH reserved
-		return body, true
+		// Mask the variant GRH fields: traffic class (OR-masks, so two
+		// scratch bytes) and hop limit, plus the BTH reserved byte.
+		m := [2]byte{b[0] | 0x0F, b[1] | 0xF0}
+		crc = crc32.Update(crc, t, m[:])
+		crc = crc32.Update(crc, t, b[2:7])
+		crc = crc32.Update(crc, t, icrcFF[:1]) // hop limit
+		crc = crc32.Update(crc, t, b[8:GRHLen+4])
+		crc = crc32.Update(crc, t, icrcFF[:1]) // BTH reserved
+		crc = crc32.Update(crc, t, b[GRHLen+5:])
+		return crc, true
 	}
-	// Mask variant fields (offsets within the IP header).
-	body[1] = 0xFF                                // IP TOS
-	body[8] = 0xFF                                // IP TTL
-	body[10], body[11] = 0xFF, 0xFF               // IP checksum
-	body[IPv4Len+6], body[IPv4Len+7] = 0xFF, 0xFF // UDP checksum
-	body[IPv4Len+UDPLen+4] = 0xFF                 // BTH reserved
-	return body, true
+	// Mask variant fields: IP TOS/TTL/checksum, UDP checksum, BTH reserved.
+	crc = crc32.Update(crc, t, b[0:1])
+	crc = crc32.Update(crc, t, icrcFF[:1]) // IP TOS
+	crc = crc32.Update(crc, t, b[2:8])
+	crc = crc32.Update(crc, t, icrcFF[:1]) // IP TTL
+	crc = crc32.Update(crc, t, b[9:10])
+	crc = crc32.Update(crc, t, icrcFF[:]) // IP checksum
+	crc = crc32.Update(crc, t, b[12:IPv4Len+6])
+	crc = crc32.Update(crc, t, icrcFF[:]) // UDP checksum
+	crc = crc32.Update(crc, t, b[IPv4Len+8:IPv4Len+UDPLen+4])
+	crc = crc32.Update(crc, t, icrcFF[:1]) // BTH reserved
+	crc = crc32.Update(crc, t, b[IPv4Len+UDPLen+5:])
+	return crc, true
 }
 
 // IsRoCEv1Frame cheaply tests the ethertype.
@@ -408,11 +514,10 @@ func IsRoCEv1Frame(frame []byte) bool {
 
 // putICRC computes and stores the ICRC in the last 4 bytes of frame.
 func putICRC(frame []byte) {
-	body, ok := icrcInput(frame)
+	crc, ok := computeICRC(frame)
 	if !ok {
 		panic("wire: frame too short for ICRC")
 	}
-	crc := crc32.ChecksumIEEE(body)
 	// Transmitted least-significant byte first, like the Ethernet FCS.
 	frame[len(frame)-4] = byte(crc)
 	frame[len(frame)-3] = byte(crc >> 8)
@@ -422,11 +527,10 @@ func putICRC(frame []byte) {
 
 // verifyICRC recomputes the ICRC of frame and compares it to the trailer.
 func verifyICRC(frame []byte) bool {
-	body, ok := icrcInput(frame)
+	crc, ok := computeICRC(frame)
 	if !ok {
 		return false
 	}
-	crc := crc32.ChecksumIEEE(body)
 	n := len(frame)
 	got := uint32(frame[n-4]) | uint32(frame[n-3])<<8 | uint32(frame[n-2])<<16 | uint32(frame[n-1])<<24
 	return crc == got

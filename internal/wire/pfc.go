@@ -32,16 +32,23 @@ type PFC struct {
 	PauseQuanta [8]uint16
 }
 
-// BuildPFC encodes a pause (or resume, quanta=0) for class 0.
-func BuildPFC(src MAC, quanta uint16) []byte {
+// BuildPFCInto encodes a pause (or resume, quanta=0) for class 0, drawing
+// the frame buffer from pool (nil = plain allocation).
+func BuildPFCInto(pool *Pool, src MAC, quanta uint16) []byte {
 	p := PFC{Src: src, ClassEnable: 1}
 	p.PauseQuanta[0] = quanta
-	return p.Encode()
+	return p.EncodeInto(pool)
 }
 
-// Encode serializes the frame.
-func (p *PFC) Encode() []byte {
-	frame := make([]byte, PFCFrameLen)
+// BuildPFC is BuildPFCInto on the allocating path.
+func BuildPFC(src MAC, quanta uint16) []byte {
+	return BuildPFCInto(nil, src, quanta)
+}
+
+// EncodeInto serializes the frame into a buffer drawn from pool (nil =
+// plain allocation).
+func (p *PFC) EncodeInto(pool *Pool) []byte {
+	frame := pool.Get(PFCFrameLen)
 	eth := Ethernet{Dst: PFCDst, Src: p.Src, EtherType: EtherTypeMACControl}
 	off := eth.Put(frame)
 	be.PutUint16(frame[off:], PFCOpcode)
@@ -49,8 +56,13 @@ func (p *PFC) Encode() []byte {
 	for i, q := range p.PauseQuanta {
 		be.PutUint16(frame[off+4+2*i:], q)
 	}
+	// The frame is mostly padding; pooled buffers carry stale bytes.
+	clear(frame[off+4+2*len(p.PauseQuanta):])
 	return frame
 }
+
+// Encode serializes the frame on the allocating path.
+func (p *PFC) Encode() []byte { return p.EncodeInto(nil) }
 
 // DecodePFC parses frame as a PFC frame; ok is false if it is not one.
 func DecodePFC(frame []byte) (p PFC, ok bool) {

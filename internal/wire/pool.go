@@ -1,0 +1,126 @@
+package wire
+
+import "sync"
+
+// Pool is a free list of frame buffers keyed by power-of-two size class.
+// The simulation's "line rate" is how many frames per second the wire
+// codecs can push through a core, so the per-frame hot path must not
+// allocate: builders draw buffers here and terminal consumers return them.
+//
+// Ownership contract (see DESIGN.md, "Hot path & memory discipline"):
+//
+//   - A frame handed to netsim.Port.Send, switchsim.Switch.Inject, or
+//     switchsim.Context.Emit is owned by the fabric from that point on and
+//     may be recycled after terminal consumption. Senders must not retain a
+//     frame they sent — retain a copy (drawn from the pool) instead.
+//   - Decoded Packet views (Payload in particular) alias the frame buffer
+//     and must not outlive its release; copy-on-retain before Release.
+//   - Put must be called at most once per Get — a double release recycles
+//     one buffer into two owners and corrupts both frames.
+//
+// A Pool is safe for concurrent use; the parallel experiment runner shares
+// DefaultPool across goroutines. A nil *Pool is valid and degrades to plain
+// allocation (Get = make, Put = no-op), which keeps the allocating wrapper
+// APIs trivial.
+type Pool struct {
+	mu   sync.Mutex
+	free [poolClasses][][]byte
+
+	hits   int64
+	misses int64
+	puts   int64
+}
+
+const (
+	poolMinShift = 6  // smallest class: 64 B (minimum Ethernet frame)
+	poolMaxShift = 14 // largest class: 16 KiB (> any MTU used here)
+	poolClasses  = poolMaxShift - poolMinShift + 1
+)
+
+// DefaultPool is the process-wide pool the simulation components share.
+var DefaultPool = NewPool()
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// classFor returns the smallest class whose buffers hold n bytes, or -1 if
+// n exceeds the largest class.
+func classFor(n int) int {
+	if n > 1<<poolMaxShift {
+		return -1
+	}
+	c := 0
+	for 1<<(poolMinShift+c) < n {
+		c++
+	}
+	return c
+}
+
+// Get returns a buffer of length n. The contents are unspecified — callers
+// must overwrite every byte they care about (the frame builders do).
+func (p *Pool) Get(n int) []byte {
+	if p == nil {
+		return make([]byte, n)
+	}
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	p.mu.Lock()
+	if free := p.free[c]; len(free) > 0 {
+		buf := free[len(free)-1]
+		free[len(free)-1] = nil
+		p.free[c] = free[:len(free)-1]
+		p.hits++
+		p.mu.Unlock()
+		return buf[:n]
+	}
+	p.misses++
+	p.mu.Unlock()
+	return make([]byte, n, 1<<(poolMinShift+c))
+}
+
+// Put returns a buffer to the pool. Buffers smaller than the smallest class
+// or larger than the largest are dropped (left to the GC); any capacity in
+// between is binned by the largest class it can serve, so foreign buffers
+// (plain make-allocated frames) are accepted too.
+func (p *Pool) Put(b []byte) {
+	if p == nil || b == nil {
+		return
+	}
+	c := cap(b)
+	if c < 1<<poolMinShift || c > 1<<poolMaxShift {
+		return
+	}
+	// Largest class with size <= cap.
+	cl := 0
+	for cl+1 < poolClasses && 1<<(poolMinShift+cl+1) <= c {
+		cl++
+	}
+	p.mu.Lock()
+	p.free[cl] = append(p.free[cl], b[:0])
+	p.puts++
+	p.mu.Unlock()
+}
+
+// PoolStats is an observability snapshot of a pool.
+type PoolStats struct {
+	Hits   int64 // Gets served from the free list
+	Misses int64 // Gets that had to allocate
+	Puts   int64 // buffers returned
+	Free   int   // buffers currently pooled
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := PoolStats{Hits: p.hits, Misses: p.misses, Puts: p.puts}
+	for _, f := range p.free {
+		s.Free += len(f)
+	}
+	return s
+}
