@@ -227,12 +227,18 @@ func (t *LookupTable) recircFetch(ctx *switchsim.Context, frame []byte, idx, pas
 	}
 	t.Stats.RecircPasses++
 	t.sw.Stats.Recirculated++
+	// The frame is parked for the continuation below: the switch must not
+	// recycle it when this pass ends.
+	ctx.Retain()
 	t.sw.Engine.Schedule(t.sw.Cfg.RecirculationLatency, func() {
 		// The packet re-enters the pipeline and reaches this primitive
 		// again; modelled as a direct continuation with the pass count a
 		// real program would carry in recirculation metadata.
 		c := t.sw.NewContext(switchsim.RecirculationPort, frame)
 		t.recircFetchRecirced(c, frame, idx, pass+1)
+		// If the continuation neither emitted nor re-parked the frame
+		// (drop action, expiry), recycle it here.
+		c.Finish()
 	})
 }
 

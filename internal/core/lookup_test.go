@@ -81,12 +81,15 @@ func TestLookupDepositBouncesPacketThroughRemoteEntry(t *testing.T) {
 	b, lt := lookupBed(t, LookupConfig{Entries: 8})
 	populateAll(t, b, lt, SetDSCPAction(10))
 	frame := dataFrame(b.hosts[0], b.hosts[1], 300, 777)
+	// Copy-on-retain: the sent frame belongs to the fabric and is recycled
+	// (and poisoned under -race); index the region from the copy.
+	master := append([]byte(nil), frame...)
 	b.net.Ports(b.hosts[0])[0].Send(frame)
 	b.net.Engine.Run()
 	// The original packet must actually be present in server DRAM.
 	region := b.memNIC.LookupRegion(lt.ch.RKey)
 	var p wire.Packet
-	if err := p.DecodeFromBytes(frame); err != nil {
+	if err := p.DecodeFromBytes(master); err != nil {
 		t.Fatal(err)
 	}
 	idx := wire.FlowOf(&p).Index(lt.cfg.Entries)

@@ -38,7 +38,10 @@ func (h *Host) Name() string { return h.name }
 
 // Receive implements Device: software handling, costing CPU. The host is a
 // terminal consumer: the frame is recycled after Handler returns, so
-// handlers that keep payload bytes must copy them.
+// handlers that keep payload bytes (or schedule later work over them) must
+// copy them first. Under `go test -race` released buffers are poisoned
+// (wire.Pool), so a handler that violates this reads 0xDD garbage instead
+// of silently decoding a recycled frame.
 func (h *Host) Receive(port *Port, frame []byte) {
 	h.CPUOps++
 	h.Received++

@@ -19,7 +19,9 @@ func twoHosts(seed int64, cfg LinkConfig) (*Net, *Host, *Host, *Port, *Port) {
 func TestFrameDelivery(t *testing.T) {
 	n, _, b, pa, _ := twoHosts(1, Link40G())
 	var got []byte
-	b.Handler = func(_ *Port, f []byte) { got = f }
+	// Copy-on-retain: the frame is recycled (and poisoned under -race)
+	// after the handler returns.
+	b.Handler = func(_ *Port, f []byte) { got = append([]byte(nil), f...) }
 	frame := make([]byte, 100)
 	frame[0] = 0xAA
 	pa.Send(frame)

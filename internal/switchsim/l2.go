@@ -37,10 +37,31 @@ func (l *L2Pipeline) Ingress(ctx *Context) {
 		ctx.Emit(out, ctx.Frame)
 		return
 	}
-	// Flood on miss.
-	for p := 0; p < ctx.Switch().NumPorts(); p++ {
+	// Flood on miss. Emit transfers ownership of its buffer to the traffic
+	// manager, which recycles it independently per port, so clones must be
+	// distinct buffers: every flooded port but the last gets a pooled copy
+	// and only the last gets the original. Copies are cut before the
+	// original is emitted so a tail drop cannot recycle the source
+	// mid-flood.
+	last := -1
+	for p := ctx.Switch().NumPorts() - 1; p >= 0; p-- {
 		if p != ctx.InPort {
-			ctx.Emit(p, ctx.Frame)
+			last = p
+			break
 		}
+	}
+	if last < 0 {
+		return // no eligible egress port; the switch recycles the frame
+	}
+	for p := 0; p <= last; p++ {
+		if p == ctx.InPort {
+			continue
+		}
+		f := ctx.Frame
+		if p != last {
+			f = wire.DefaultPool.Get(len(ctx.Frame))
+			copy(f, ctx.Frame)
+		}
+		ctx.Emit(p, f)
 	}
 }

@@ -254,6 +254,7 @@ func (s *Switch) handlePFC(port int, pfc *wire.PFC) {
 func (s *Switch) runPipeline(inPort int, frame []byte) {
 	if s.Pipeline == nil {
 		s.Stats.NoRoute++
+		wire.DefaultPool.Put(frame) // no pipeline: the switch is the terminal consumer
 		return
 	}
 	ctx := Context{sw: s, InPort: inPort, Frame: frame}
@@ -264,15 +265,16 @@ func (s *Switch) runPipeline(inPort int, frame []byte) {
 		ctx.Pkt = &s.pkt
 	}
 	s.Pipeline.Ingress(&ctx)
-	if !ctx.emitted && !ctx.dropped {
+	if ctx.emitted || ctx.retained {
+		return
+	}
+	if !ctx.dropped {
 		s.Stats.NoRoute++
 	}
-	if ctx.dropped && !ctx.emitted {
-		// The pipeline consciously dropped the frame and nothing was
-		// enqueued: the switch is its terminal consumer. Handlers that keep
-		// payload bytes copy them first (see the Drop contract).
-		wire.DefaultPool.Put(frame)
-	}
+	// Nothing was enqueued or parked — conscious drop or no route — so the
+	// switch is the frame's terminal consumer. Pipelines that keep payload
+	// bytes copy them first (see the Drop contract).
+	wire.DefaultPool.Put(frame)
 }
 
 // enqueue places frame on the egress queue of port, enforcing buffer limits.
@@ -409,8 +411,9 @@ type Context struct {
 	// Frame is the raw frame.
 	Frame []byte
 
-	emitted bool
-	dropped bool
+	emitted  bool
+	dropped  bool
+	retained bool
 }
 
 // NewContext builds a pipeline context bound to the switch for frames the
@@ -441,6 +444,23 @@ func (c *Context) Emit(port int, frame []byte) bool {
 
 // Drop marks the packet consciously dropped (distinct from "no route").
 func (c *Context) Drop() { c.dropped = true }
+
+// Retain marks the frame as parked beyond this pipeline pass — e.g. held
+// for a scheduled recirculation continuation — so the switch does not
+// recycle it when the pass ends. Ownership transfers to the retainer,
+// which must eventually Emit the frame, hand it to another owner, or
+// return it to wire.DefaultPool itself.
+func (c *Context) Retain() { c.retained = true }
+
+// Finish completes a context synthesized with NewContext outside a Receive
+// pass: if the frame was neither emitted nor retained, the caller stands in
+// for the switch as the frame's terminal consumer and the buffer is
+// recycled. runPipeline does the equivalent for Receive passes.
+func (c *Context) Finish() {
+	if !c.emitted && !c.retained {
+		wire.DefaultPool.Put(c.Frame)
+	}
+}
 
 // Recirculate re-injects frame into the ingress pipeline after the
 // recirculation latency, as Tofino's loopback port does.

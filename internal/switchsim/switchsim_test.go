@@ -1,6 +1,7 @@
 package switchsim
 
 import (
+	"bytes"
 	"testing"
 
 	"gem/internal/netsim"
@@ -66,6 +67,66 @@ func TestL2FloodOnMiss(t *testing.T) {
 	}
 	if hosts[0].Received != 0 {
 		t.Fatal("flood echoed to ingress port")
+	}
+}
+
+// TestL2FloodClonesAreDistinctBuffers locks in the Emit ownership contract
+// for the flood path: each enqueued frame is recycled independently at its
+// terminal consumption point, so flooding one buffer to three ports would
+// triple-release it and hand the same memory to two owners. Every flooded
+// port must therefore be handed its own intact copy.
+func TestL2FloodClonesAreDistinctBuffers(t *testing.T) {
+	n, sw, hosts := testbed(t, 4, Config{})
+	unknown := wire.MACFromUint64(0xEEEE)
+	f := wire.BuildDataFrame(hosts[0].MAC, unknown, hosts[0].IP, wire.IP4{}, 1, 2, 100, nil)
+	want := append([]byte(nil), f...)
+
+	bufs := map[*byte]bool{}
+	var tx [][]byte
+	sw.TraceFn = func(event string, port int, frame []byte) {
+		if event == "tx" {
+			bufs[&frame[0]] = true
+			tx = append(tx, append([]byte(nil), frame...))
+		}
+	}
+	n.Ports(hosts[0])[0].Send(f)
+	n.Engine.Run()
+
+	if len(tx) != 3 {
+		t.Fatalf("flooded %d frames, want 3", len(tx))
+	}
+	if len(bufs) != 3 {
+		t.Fatalf("flood reused a buffer: %d distinct buffers for 3 frames", len(bufs))
+	}
+	for i, got := range tx {
+		if !bytes.Equal(got, want) {
+			t.Fatalf("flooded copy %d corrupted", i)
+		}
+	}
+}
+
+// TestNoRouteRecyclesFrame: when nothing was enqueued — the pipeline
+// neither emitted nor dropped, or there is no pipeline at all — the switch
+// is the frame's terminal consumer and must return it to the pool.
+func TestNoRouteRecyclesFrame(t *testing.T) {
+	n, sw, hosts := testbed(t, 2, Config{})
+	sw.Pipeline = PipelineFunc(func(ctx *Context) {}) // no emit, no drop
+	before := wire.DefaultPool.Stats()
+	n.Ports(hosts[0])[0].Send(frameBetween(hosts[0], hosts[1], 100))
+	n.Engine.Run()
+	if sw.Stats.NoRoute != 1 {
+		t.Fatalf("NoRoute = %d, want 1", sw.Stats.NoRoute)
+	}
+	if d := wire.DefaultPool.Stats().Puts - before.Puts; d != 1 {
+		t.Fatalf("pool puts delta = %d, want 1 (no-route frame recycled)", d)
+	}
+
+	sw.Pipeline = nil
+	before = wire.DefaultPool.Stats()
+	n.Ports(hosts[0])[0].Send(frameBetween(hosts[0], hosts[1], 100))
+	n.Engine.Run()
+	if d := wire.DefaultPool.Stats().Puts - before.Puts; d != 1 {
+		t.Fatalf("pool puts delta = %d, want 1 (nil-pipeline frame recycled)", d)
 	}
 }
 

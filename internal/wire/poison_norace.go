@@ -1,0 +1,6 @@
+//go:build !race
+
+package wire
+
+// poolPoison is off in normal builds; see poison_race.go.
+const poolPoison = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package wire
+
+// poolPoison enables overwriting released buffers under the race detector
+// (`go test -race`, CI tier 1), so contract violations — retaining a frame
+// or a decoded Payload past its release — fail loudly instead of silently
+// corrupting data. Kept off in normal builds: poisoning writes every byte
+// of every released buffer and would dominate the hot path.
+const poolPoison = true

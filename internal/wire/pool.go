@@ -26,9 +26,11 @@ type Pool struct {
 	mu   sync.Mutex
 	free [poolClasses][][]byte
 
-	hits   int64
-	misses int64
-	puts   int64
+	hits     int64
+	misses   int64
+	puts     int64
+	oversize int64 // Gets larger than the largest class (plain make)
+	dropped  int64 // Puts whose capacity fit no class (left to the GC)
 }
 
 const (
@@ -64,6 +66,11 @@ func (p *Pool) Get(n int) []byte {
 	}
 	c := classFor(n)
 	if c < 0 {
+		// Out-of-class traffic must stay visible in Stats: a hot path full
+		// of oversized frames would otherwise look like a healthy pool.
+		p.mu.Lock()
+		p.oversize++
+		p.mu.Unlock()
 		return make([]byte, n)
 	}
 	p.mu.Lock()
@@ -88,8 +95,17 @@ func (p *Pool) Put(b []byte) {
 	if p == nil || b == nil {
 		return
 	}
+	if poolPoison {
+		// Race/debug builds overwrite released buffers so a consumer that
+		// retains a frame past its release reads obvious garbage instead of
+		// silently decoding a recycled frame (see poison_race.go).
+		poison(b[:cap(b)])
+	}
 	c := cap(b)
 	if c < 1<<poolMinShift || c > 1<<poolMaxShift {
+		p.mu.Lock()
+		p.dropped++
+		p.mu.Unlock()
 		return
 	}
 	// Largest class with size <= cap.
@@ -105,10 +121,12 @@ func (p *Pool) Put(b []byte) {
 
 // PoolStats is an observability snapshot of a pool.
 type PoolStats struct {
-	Hits   int64 // Gets served from the free list
-	Misses int64 // Gets that had to allocate
-	Puts   int64 // buffers returned
-	Free   int   // buffers currently pooled
+	Hits         int64 // Gets served from the free list
+	Misses       int64 // in-class Gets that had to allocate
+	Puts         int64 // buffers returned to a free list
+	OversizeGets int64 // Gets larger than the largest class (plain make)
+	DroppedPuts  int64 // Puts whose capacity fit no class (left to the GC)
+	Free         int   // buffers currently pooled
 }
 
 // Stats returns a snapshot of the pool's counters.
@@ -118,9 +136,22 @@ func (p *Pool) Stats() PoolStats {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	s := PoolStats{Hits: p.hits, Misses: p.misses, Puts: p.puts}
+	s := PoolStats{
+		Hits: p.hits, Misses: p.misses, Puts: p.puts,
+		OversizeGets: p.oversize, DroppedPuts: p.dropped,
+	}
 	for _, f := range p.free {
 		s.Free += len(f)
 	}
 	return s
+}
+
+// poison fills a released buffer with a recognizable garbage byte. It is
+// wired to Put only when poolPoison is set (race builds); the pattern makes
+// use-after-release show up as wildly wrong lengths/opcodes, not plausible
+// stale data.
+func poison(b []byte) {
+	for i := range b {
+		b[i] = 0xDD
+	}
 }

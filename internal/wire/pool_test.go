@@ -56,6 +56,45 @@ func TestNilPoolDegradesToMake(t *testing.T) {
 	}
 }
 
+// TestPoolOutOfClassStats: traffic the pool cannot serve must stay visible
+// in Stats — a hot path full of oversized frames would otherwise look like
+// a healthy pool.
+func TestPoolOutOfClassStats(t *testing.T) {
+	p := NewPool()
+	big := p.Get(1 << 20)  // above the largest class: plain make
+	p.Put(big)             // capacity fits no class: dropped to the GC
+	p.Put(make([]byte, 8)) // below the smallest class: dropped too
+	s := p.Stats()
+	if s.OversizeGets != 1 {
+		t.Fatalf("OversizeGets = %d, want 1", s.OversizeGets)
+	}
+	if s.DroppedPuts != 2 {
+		t.Fatalf("DroppedPuts = %d, want 2", s.DroppedPuts)
+	}
+	if s.Free != 0 || s.Puts != 0 {
+		t.Fatalf("stats = %+v, want nothing pooled", s)
+	}
+}
+
+// TestPoolPoisonOnRelease: race builds overwrite released buffers so
+// use-after-release fails loudly. Meaningful only under `go test -race`.
+func TestPoolPoisonOnRelease(t *testing.T) {
+	if !poolPoison {
+		t.Skip("poisoning is enabled only under -race")
+	}
+	p := NewPool()
+	b := p.Get(64)
+	for i := range b {
+		b[i] = 0xAB
+	}
+	p.Put(b)
+	for i, v := range b {
+		if v != 0xDD {
+			t.Fatalf("released buffer byte %d = %#x, want poison 0xDD", i, v)
+		}
+	}
+}
+
 // TestPoolAliasingSafety exercises the ownership contract end to end: a
 // Packet decoded from a pooled frame aliases the buffer, so a payload
 // retained across the frame's release must be copied first. The copy must
