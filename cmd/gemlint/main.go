@@ -1,0 +1,304 @@
+// Command gemlint runs the gem static-analysis suite: the frameown,
+// nodeterminism, and hotalloc passes that enforce the frame-ownership and
+// determinism contracts described in DESIGN.md.
+//
+// Standalone:
+//
+//	go run ./cmd/gemlint ./...
+//
+// As a vet tool (the unitchecker protocol: cmd/go invokes the tool once per
+// package with a JSON config file):
+//
+//	go build -o /tmp/gemlint ./cmd/gemlint
+//	go vet -vettool=/tmp/gemlint ./...
+//
+// Each pass is scoped to the packages whose contract it enforces; see
+// analyzersFor. Diagnostics are printed as file:line:col: message [pass],
+// and the exit status is nonzero when any are found.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"gem/internal/analysis"
+	"gem/internal/analysis/frameown"
+	"gem/internal/analysis/hotalloc"
+	"gem/internal/analysis/nodeterminism"
+)
+
+// frameownScope are the package prefixes whose code moves pooled frames.
+var frameownScope = []string{
+	"gem/internal/switchsim", "gem/internal/netsim",
+	"gem/internal/rnic", "gem/internal/core",
+}
+
+// hotallocScope are the designated allocation-free hot-path packages.
+var hotallocScope = []string{
+	"gem/internal/wire", "gem/internal/switchsim", "gem/internal/rnic",
+}
+
+// nodeterminismExempt are internal packages that are developer tooling, not
+// simulation code: their output does not feed gem-bench's byte-identical
+// reproducibility check.
+var nodeterminismExempt = []string{
+	"gem/internal/analysis",
+}
+
+func inScope(pkgPath string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// analyzersFor returns the passes that apply to pkgPath.
+func analyzersFor(pkgPath string) []*analysis.Analyzer {
+	// go vet names test variants "pkg [pkg.test]"; scope by the base path.
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	var as []*analysis.Analyzer
+	if inScope(pkgPath, frameownScope) {
+		as = append(as, frameown.Analyzer)
+	}
+	if strings.HasPrefix(pkgPath, "gem/internal/") && !inScope(pkgPath, nodeterminismExempt) {
+		as = append(as, nodeterminism.Analyzer)
+	}
+	if inScope(pkgPath, hotallocScope) {
+		as = append(as, hotalloc.Analyzer)
+	}
+	return as
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// Tool-ID and flag handshakes used by cmd/go when running as a vettool.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "-V":
+			fmt.Println("gemlint version gemlint-0.1")
+			return
+		case a == "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetTool(args[0]))
+	}
+
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: gemlint <packages>  (e.g. gemlint ./...)")
+		os.Exit(2)
+	}
+	os.Exit(runStandalone(args))
+}
+
+// diag pairs a diagnostic with its origin for sorted printing.
+type diag struct {
+	pos  token.Position
+	msg  string
+	pass string
+}
+
+func printDiags(w io.Writer, diags []diag) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		return a.msg < b.msg
+	})
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s [%s]\n", d.pos, d.msg, d.pass)
+	}
+}
+
+// runPass applies one analyzer to one loaded package.
+func runPass(a *analysis.Analyzer, pkg *analysis.Package, owns map[string]bool, diags *[]diag) error {
+	pass := &analysis.Pass{
+		Analyzer:     a,
+		Fset:         pkg.Fset,
+		Files:        pkg.Files,
+		Pkg:          pkg.Types,
+		TypesInfo:    pkg.TypesInfo,
+		OwnsRegistry: owns,
+		Report: func(d analysis.Diagnostic) {
+			*diags = append(*diags, diag{pos: pkg.Fset.Position(d.Pos), msg: d.Message, pass: a.Name})
+		},
+	}
+	return a.Run(pass)
+}
+
+// runStandalone loads the requested packages from source and applies every
+// in-scope pass, with //gem:owns annotations collected module-wide.
+func runStandalone(patterns []string) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gemlint:", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gemlint:", err)
+		return 2
+	}
+
+	// The annotation registry spans every loaded package, so a pass
+	// analyzing core sees that netsim.Port.Send owns its frame argument.
+	owns := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for name := range analysis.OwnsAnnotations(pkg.TypesInfo, pkg.Files) {
+			owns[name] = true
+		}
+	}
+
+	var diags []diag
+	for _, pkg := range pkgs {
+		for _, a := range analyzersFor(pkg.PkgPath) {
+			if err := runPass(a, pkg, owns, &diags); err != nil {
+				fmt.Fprintf(os.Stderr, "gemlint: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
+				return 2
+			}
+		}
+	}
+	printDiags(os.Stdout, diags)
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the JSON the go command writes for unit checkers; field names
+// match cmd/go/internal/work.vetConfig.
+type vetConfig struct {
+	ID          string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetTool implements the go vet unit-checker protocol: type-check the
+// single package described by cfgPath against its dependencies' export data,
+// run the in-scope passes, and always write the (empty) facts file cmd/go
+// expects.
+func runVetTool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gemlint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "gemlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte("gemlint\n"), 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "gemlint:", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "gemlint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "gemlint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	pkg := &analysis.Package{
+		PkgPath: cfg.ImportPath, Dir: cfg.Dir,
+		Fset: fset, Files: files, Types: tpkg, TypesInfo: info,
+	}
+	// Unit-checker mode sees one package at a time, so cross-package
+	// ownership knowledge comes from the builtin fabric table plus this
+	// package's own annotations (MergeOwns inside each pass).
+	var diags []diag
+	for _, a := range analyzersFor(cfg.ImportPath) {
+		if err := runPass(a, pkg, nil, &diags); err != nil {
+			fmt.Fprintf(os.Stderr, "gemlint: %s on %s: %v\n", a.Name, cfg.ImportPath, err)
+			return 2
+		}
+	}
+	// The passes enforce contracts on non-test code only; test-variant
+	// compilation units include _test.go files, which are exempt.
+	kept := diags[:0]
+	for _, d := range diags {
+		if !strings.HasSuffix(d.pos.Filename, "_test.go") {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+	writeVetx()
+	if len(diags) > 0 {
+		printDiags(os.Stderr, diags)
+		return 2
+	}
+	return 0
+}

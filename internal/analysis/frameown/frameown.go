@@ -1,0 +1,688 @@
+// Package frameown implements the gemlint pass that enforces the pooled
+// frame-ownership contract: a []byte acquired from wire.Pool (or a wire
+// builder) must be released or handed to exactly one owner on every path,
+// and never touched again after the handoff.
+//
+// The pass is intra-procedural. It runs a small abstract interpreter over
+// each function body, tracking every local []byte variable through three
+// states — owned, released (recycled or transferred), untracked — and
+// reports:
+//
+//   - double release/transfer: the frame reaches an owning call (Pool.Put,
+//     Context.Emit, Port.Send, anything //gem:owns) twice on one path,
+//     including the loop-carried variant that shipped the L2 flood bug;
+//   - use after release: any read of the variable once ownership is gone;
+//   - leak: a locally-acquired frame that escapes the function on some
+//     return path with no release, emit, or ownership transfer.
+//
+// Aliasing (slicing, struct stores, closure capture, dynamic calls) demotes
+// a variable to untracked rather than guessing: the pass prefers silence to
+// false positives, and the runtime pool balance check (wire.Pool
+// AssertBalanced) backstops what static analysis abstains from.
+package frameown
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gem/internal/analysis"
+)
+
+// Analyzer is the frameown pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "frameown",
+	Doc:  "enforce the pooled frame-ownership contract (double release, use after release, leaks)",
+	Run:  run,
+}
+
+type state int
+
+const (
+	stOwned state = iota
+	stReleased
+)
+
+// varInfo is the abstract value of one tracked []byte variable.
+type varInfo struct {
+	state state
+	// local is true for frames acquired in this function (pool.Get or a
+	// wire builder): only those are leak-checked at returns.
+	local bool
+	// escaped disables the leak check once the value aliases into
+	// something the pass cannot follow.
+	escaped bool
+	// deferRel records a `defer pool.Put(v)` style release.
+	deferRel bool
+	// relPos is where ownership left, for the double-release message.
+	relPos token.Pos
+}
+
+func (v *varInfo) clone() *varInfo { c := *v; return &c }
+
+// env maps tracked variables to their abstract state.
+type env map[*types.Var]*varInfo
+
+func (e env) clone() env {
+	c := make(env, len(e))
+	for k, v := range e {
+		c[k] = v.clone()
+	}
+	return c
+}
+
+// join merges a branch state back into e: variables that disagree between
+// the paths become untracked (the conservative top).
+func (e env) join(o env) {
+	for k, v := range e {
+		ov, ok := o[k]
+		if !ok {
+			delete(e, k)
+			continue
+		}
+		if ov.state != v.state {
+			delete(e, k)
+			continue
+		}
+		v.escaped = v.escaped || ov.escaped
+		v.deferRel = v.deferRel && ov.deferRel
+	}
+	for k := range o {
+		if _, ok := e[k]; !ok {
+			// Variable tracked on only one path: drop it.
+			delete(e, k)
+		}
+	}
+}
+
+type checker struct {
+	pass *analysis.Pass
+	owns map[string]bool
+	// seen dedups diagnostics: loop bodies are walked twice.
+	seen map[string]bool
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass: pass,
+		owns: analysis.MergeOwns(pass),
+		seen: make(map[string]bool),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	return nil
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.pass.Reportf(pos, "%s", msg)
+}
+
+func (c *checker) posStr(pos token.Pos) string {
+	p := c.pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", shortFile(p.Filename), p.Line)
+}
+
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	e := make(env)
+	// []byte parameters start owned-but-borrowed: double release and use
+	// after release apply, the leak check does not (the caller may retain
+	// ownership on non-transferring calls).
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if v, ok := c.pass.TypesInfo.Defs[name].(*types.Var); ok && analysis.IsByteSlice(v.Type()) {
+					e[v] = &varInfo{state: stOwned, local: false}
+				}
+			}
+		}
+	}
+	if !c.walkStmt(fd.Body, e) {
+		// Only fall-off-the-end exits: terminating bodies already ran the
+		// leak check at their return statement.
+		c.leakCheck(e, fd.Body.Rbrace)
+	}
+}
+
+// leakCheck reports locally-acquired owned frames alive at a function exit.
+func (c *checker) leakCheck(e env, pos token.Pos) {
+	for v, info := range e {
+		if info.state == stOwned && info.local && !info.escaped && !info.deferRel {
+			c.report(pos, "owned frame %q leaks: no release, emit, or ownership transfer on this path (acquired at %s)",
+				v.Name(), c.posStr(v.Pos()))
+		}
+	}
+}
+
+// varOf resolves expr to a tracked variable, seeing through parens.
+func (c *checker) varOf(e env, expr ast.Expr) (*types.Var, *varInfo) {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	info := e[v]
+	return v, info
+}
+
+// checkUses walks expr reporting reads of released variables; skip, when
+// non-nil, suppresses the report for one ident (the argument of the very
+// call being handled).
+func (c *checker) checkUses(e env, expr ast.Expr, skip *ast.Ident) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			c.closureEscape(e, lit)
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == skip {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if info := e[v]; info != nil && info.state == stReleased {
+			c.report(id.Pos(), "use of frame %q after release/transfer (released at %s)",
+				v.Name(), c.posStr(info.relPos))
+		}
+		return true
+	})
+}
+
+// closureEscape marks every tracked variable captured by a func literal as
+// escaped and untracked: the closure may release or outlive it.
+func (c *checker) closureEscape(e env, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+			if info := e[v]; info != nil {
+				info.escaped = true
+				if info.state == stOwned {
+					delete(e, v)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// acquires reports whether call returns a fresh pooled frame: Pool.Get or a
+// wire Build* builder (legacy or Into form).
+func (c *checker) acquires(call *ast.CallExpr) bool {
+	fn := analysis.Callee(c.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if fn.FullName() == "(*"+analysis.WirePkgPath+".Pool).Get" {
+		return true
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == analysis.WirePkgPath &&
+		strings.HasPrefix(fn.Name(), "Build") {
+		sig, ok := fn.Type().(*types.Signature)
+		return ok && sig.Results().Len() == 1 && analysis.IsByteSlice(sig.Results().At(0).Type())
+	}
+	return false
+}
+
+// handleCall applies a call's effect on the environment and returns true if
+// the call was an ownership transfer of some tracked variable.
+func (c *checker) handleCall(e env, call *ast.CallExpr, deferred bool) {
+	// Nested calls in arguments first (e.g. Send(BuildAckInto(...)) —
+	// handled as an immediate transfer of an anonymous frame: nothing to
+	// track).
+	for _, arg := range call.Args {
+		if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+			c.handleCall(e, inner, false)
+		}
+	}
+
+	// Builtins (len, cap, copy, append, delete, clear) only read the
+	// buffer: a borrow, not an escape. Losing track here would hide leaks
+	// past the ubiquitous copy(dst, frame) idiom.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			for _, arg := range call.Args {
+				c.checkUses(e, arg, nil)
+			}
+			return
+		}
+	}
+
+	fn := analysis.Callee(c.pass.TypesInfo, call)
+	if fn == nil {
+		// Dynamic call: tracked arguments escape.
+		for _, arg := range call.Args {
+			c.checkUses(e, arg, nil)
+			if v, info := c.varOf(e, arg); info != nil {
+				_ = v
+				info.escaped = true
+				if info.state == stOwned {
+					delete(e, v)
+				}
+			}
+		}
+		c.checkUses(e, call.Fun, nil)
+		return
+	}
+
+	if c.owns[fn.FullName()] {
+		idx := analysis.OwnedArgIndex(fn)
+		if idx >= 0 && idx < len(call.Args) {
+			if v, info := c.varOf(e, call.Args[idx]); info != nil {
+				switch info.state {
+				case stReleased:
+					c.report(call.Args[idx].Pos(),
+						"frame %q released or transferred twice on this path (first at %s, again in call to %s)",
+						v.Name(), c.posStr(info.relPos), fn.Name())
+				case stOwned:
+					if deferred {
+						info.deferRel = true
+					} else {
+						info.state = stReleased
+						info.relPos = call.Args[idx].Pos()
+					}
+				}
+			}
+			// Other arguments are plain uses.
+			for i, arg := range call.Args {
+				if i == idx {
+					continue
+				}
+				c.checkUses(e, arg, nil)
+			}
+			return
+		}
+	}
+
+	// Statically-known non-owning call: a borrow. The callee may read the
+	// frame but ownership stays here — this is precisely what lets the pass
+	// flag leaks past calls like DecodeFromBytes or copy.
+	for _, arg := range call.Args {
+		c.checkUses(e, arg, nil)
+	}
+	c.checkUses(e, call.Fun, nil)
+}
+
+// walkStmt interprets stmt, mutating e. It returns true when the statement
+// definitely terminates the enclosing path (return / panic).
+func (c *checker) walkStmt(stmt ast.Stmt, e env) bool {
+	switch s := stmt.(type) {
+	case nil:
+		return false
+
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			if c.walkStmt(sub, e) {
+				return true
+			}
+		}
+		return false
+
+	case *ast.AssignStmt:
+		return c.walkAssign(s, e)
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						c.checkUses(e, val, nil)
+						if call, ok := ast.Unparen(val).(*ast.CallExpr); ok {
+							c.handleCall(e, call, false)
+						}
+					}
+					if len(vs.Names) == 1 && len(vs.Values) == 1 {
+						if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok && c.acquires(call) {
+							if v, ok := c.pass.TypesInfo.Defs[vs.Names[0]].(*types.Var); ok {
+								e[v] = &varInfo{state: stOwned, local: true}
+							}
+						}
+					}
+				}
+			}
+		}
+		return false
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			c.handleCall(e, call, false)
+		} else {
+			c.checkUses(e, s.X, nil)
+		}
+		return false
+
+	case *ast.DeferStmt:
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			c.closureEscape(e, lit)
+			return false
+		}
+		c.handleCall(e, s.Call, true)
+		return false
+
+	case *ast.GoStmt:
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			c.closureEscape(e, lit)
+			return false
+		}
+		// Frame args to a goroutine escape: release timing is unknowable.
+		for _, arg := range s.Call.Args {
+			c.checkUses(e, arg, nil)
+			if v, info := c.varOf(e, arg); info != nil {
+				info.escaped = true
+				if info.state == stOwned {
+					delete(e, v)
+				}
+			}
+		}
+		return false
+
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			c.checkUses(e, res, nil)
+			if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+				c.handleCall(e, call, false)
+			}
+			// Returning a frame transfers ownership to the caller.
+			if v, info := c.varOf(e, res); info != nil && info.state == stOwned {
+				_ = v
+				info.state = stReleased
+				info.relPos = res.Pos()
+				info.escaped = true
+			}
+		}
+		c.leakCheck(e, s.Pos())
+		return true
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, e)
+		}
+		c.checkUses(e, s.Cond, nil)
+		thenEnv := e.clone()
+		thenTerm := c.walkStmt(s.Body, thenEnv)
+		if s.Else != nil {
+			elseEnv := e.clone()
+			elseTerm := c.walkStmt(s.Else, elseEnv)
+			switch {
+			case thenTerm && elseTerm:
+				// Both branches end the path; anything after is dead.
+				return true
+			case thenTerm:
+				replace(e, elseEnv)
+			case elseTerm:
+				replace(e, thenEnv)
+			default:
+				thenEnv.join(elseEnv)
+				replace(e, thenEnv)
+			}
+			return false
+		}
+		if !thenTerm {
+			thenEnv.join(e)
+			replace(e, thenEnv)
+		}
+		// then-branch returned: fall-through state is the pre-branch e.
+		return false
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, e)
+		}
+		c.checkUses(e, s.Cond, nil)
+		c.walkLoopBody(s.Body, s.Post, e)
+		return false
+
+	case *ast.RangeStmt:
+		c.checkUses(e, s.X, nil)
+		c.walkLoopBody(s.Body, nil, e)
+		return false
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, e)
+		}
+		c.checkUses(e, s.Tag, nil)
+		c.walkCases(s.Body, e, false)
+		return false
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, e)
+		}
+		c.walkCases(s.Body, e, false)
+		return false
+
+	case *ast.SelectStmt:
+		c.walkCases(s.Body, e, true)
+		return false
+
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, e)
+
+	case *ast.BranchStmt:
+		// break/continue/goto: approximate by ending this path without a
+		// leak check (the frame stays live in the loop's next state).
+		return s.Tok == token.GOTO
+
+	case *ast.IncDecStmt:
+		c.checkUses(e, s.X, nil)
+		return false
+
+	case *ast.SendStmt:
+		c.checkUses(e, s.Chan, nil)
+		c.checkUses(e, s.Value, nil)
+		if v, info := c.varOf(e, s.Value); info != nil {
+			_ = v
+			info.escaped = true
+			if info.state == stOwned {
+				delete(e, v)
+			}
+		}
+		return false
+
+	default:
+		return false
+	}
+}
+
+// replace overwrites e in place with the contents of src.
+func replace(e, src env) {
+	for k := range e {
+		delete(e, k)
+	}
+	for k, v := range src {
+		e[k] = v
+	}
+}
+
+// walkLoopBody interprets a loop body twice so that state flowing around the
+// back edge (ownership transferred on iteration 1, transferred again on
+// iteration 2) surfaces; the diagnostic dedup keeps the double-walk silent
+// for clean code. The loop may run zero times, so the final state is the
+// join of the pre-loop and post-body environments.
+func (c *checker) walkLoopBody(body *ast.BlockStmt, post ast.Stmt, e env) {
+	pre := e.clone()
+	for i := 0; i < 2; i++ {
+		c.walkStmt(body, e)
+		if post != nil {
+			c.walkStmt(post, e)
+		}
+	}
+	e.join(pre)
+}
+
+// walkCases interprets each case clause of a switch/select body from the
+// entry state and joins the results.
+func (c *checker) walkCases(body *ast.BlockStmt, e env, isSelect bool) {
+	entry := e.clone()
+	var joined env
+	sawDefault := false
+	for _, raw := range body.List {
+		caseEnv := entry.clone()
+		var stmts []ast.Stmt
+		switch cl := raw.(type) {
+		case *ast.CaseClause:
+			for _, x := range cl.List {
+				c.checkUses(caseEnv, x, nil)
+			}
+			if cl.List == nil {
+				sawDefault = true
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				c.walkStmt(cl.Comm, caseEnv)
+			} else {
+				sawDefault = true
+			}
+			stmts = cl.Body
+		}
+		term := false
+		for _, st := range stmts {
+			if c.walkStmt(st, caseEnv) {
+				term = true
+				break
+			}
+		}
+		if term {
+			continue
+		}
+		if joined == nil {
+			joined = caseEnv
+		} else {
+			joined.join(caseEnv)
+		}
+	}
+	if joined == nil {
+		joined = entry.clone()
+	} else if !sawDefault && !isSelect {
+		// No default: the switch may fall through untouched.
+		joined.join(entry)
+	}
+	replace(e, joined)
+}
+
+// walkAssign handles acquisition, aliasing, and reassignment.
+func (c *checker) walkAssign(s *ast.AssignStmt, e env) bool {
+	// RHS effects first.
+	for _, rhs := range s.Rhs {
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			c.handleCall(e, call, false)
+		} else {
+			c.checkUses(e, rhs, nil)
+		}
+	}
+
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		lhsID, _ := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+		rhs := ast.Unparen(s.Rhs[0])
+
+		// v := pool.Get(n) / v := wire.BuildXInto(...)
+		if call, ok := rhs.(*ast.CallExpr); ok && c.acquires(call) && lhsID != nil {
+			var v *types.Var
+			if s.Tok == token.DEFINE {
+				v, _ = c.pass.TypesInfo.Defs[lhsID].(*types.Var)
+			} else {
+				v, _ = c.pass.TypesInfo.Uses[lhsID].(*types.Var)
+				if info := e[v]; info != nil && info.state == stOwned && info.local && !info.escaped && !info.deferRel {
+					c.report(s.Pos(), "owned frame %q overwritten before release: the previous buffer leaks", v.Name())
+				}
+			}
+			if v != nil && analysis.IsByteSlice(v.Type()) {
+				e[v] = &varInfo{state: stOwned, local: true}
+			}
+			return false
+		}
+
+		// Alias flows: w := v, w := v[a:b] — the source stays owned for
+		// double-release purposes but is no longer leak-checkable.
+		if src, info := c.aliasSource(e, rhs); info != nil {
+			_ = src
+			info.escaped = true
+		}
+
+		// Reassigning a tracked variable to anything else unlinks it.
+		if lhsID != nil {
+			var v *types.Var
+			if s.Tok == token.DEFINE {
+				v, _ = c.pass.TypesInfo.Defs[lhsID].(*types.Var)
+			} else {
+				v, _ = c.pass.TypesInfo.Uses[lhsID].(*types.Var)
+			}
+			if v != nil {
+				if info := e[v]; info != nil {
+					delete(e, v)
+				}
+			}
+			return false
+		}
+	}
+
+	// Multi-assign / compound LHS (field, index, map stores): tracked RHS
+	// values escape; tracked LHS targets reset.
+	for _, rhs := range s.Rhs {
+		if v, info := c.varOf(e, rhs); info != nil {
+			_ = v
+			info.escaped = true
+			if info.state == stOwned {
+				delete(e, v)
+			}
+		}
+	}
+	for _, lhs := range s.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+				delete(e, v)
+			}
+			if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok {
+				delete(e, v)
+			}
+		} else {
+			c.checkUses(e, lhs, nil)
+		}
+	}
+	return false
+}
+
+// aliasSource returns the tracked variable whose buffer expr aliases: the
+// variable itself, or a slice expression over it.
+func (c *checker) aliasSource(e env, expr ast.Expr) (*types.Var, *varInfo) {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return c.varOf(e, x)
+	case *ast.SliceExpr:
+		return c.varOf(e, x.X)
+	}
+	return nil, nil
+}

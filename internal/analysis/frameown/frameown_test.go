@@ -1,0 +1,19 @@
+package frameown_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gem/internal/analysis"
+	"gem/internal/analysis/analysistest"
+	"gem/internal/analysis/frameown"
+)
+
+func TestFrameown(t *testing.T) {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixture := filepath.Join(root, "internal", "analysis", "testdata", "src", "frameown")
+	analysistest.Run(t, root, fixture, frameown.Analyzer, nil)
+}

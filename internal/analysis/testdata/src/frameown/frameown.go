@@ -1,0 +1,115 @@
+// Package frameown seeds known violations of the pooled frame-ownership
+// contract for the gemlint frameown pass. Every flagged line carries a
+// `// want "regexp"` expectation checked by analysistest.
+package frameown
+
+import "gem/internal/wire"
+
+var pool = wire.NewPool()
+
+// sink is a stand-in for a fabric entry point: the callee owns frame.
+//
+//gem:owns
+func sink(frame []byte) {
+	pool.Put(frame)
+}
+
+// borrow reads the frame without taking ownership.
+func borrow(frame []byte) int { return len(frame) }
+
+func doubleRelease() {
+	buf := pool.Get(64)
+	pool.Put(buf)
+	pool.Put(buf) // want "released or transferred twice"
+}
+
+func useAfterRelease() int {
+	buf := pool.Get(64)
+	pool.Put(buf)
+	return len(buf) // want "use of frame \"buf\" after release"
+}
+
+func releaseAfterTransfer() {
+	buf := pool.Get(64)
+	sink(buf)
+	pool.Put(buf) // want "released or transferred twice"
+}
+
+func leakOnErrorPath(fail bool) {
+	buf := pool.Get(64)
+	if fail {
+		return // want "owned frame \"buf\" leaks"
+	}
+	pool.Put(buf)
+}
+
+// loopDoubleSend is the L2-flood bug class: the same buffer is handed to an
+// owning callee once per iteration.
+func loopDoubleSend(ports int) {
+	frame := pool.Get(64)
+	for i := 0; i < ports; i++ {
+		sink(frame) // want "released or transferred twice"
+	}
+}
+
+// builderLeak acquires from a builder instead of Pool.Get.
+func builderLeak(p *wire.RoCEParams, bad bool) {
+	frame := wire.BuildAckInto(pool, p, 0, 0)
+	if bad {
+		return // want "owned frame \"frame\" leaks"
+	}
+	sink(frame)
+}
+
+// --- clean code the pass must stay silent on ---
+
+func cleanGetPut() {
+	buf := pool.Get(64)
+	borrow(buf)
+	pool.Put(buf)
+}
+
+func cleanDefer() {
+	buf := pool.Get(64)
+	defer pool.Put(buf)
+	borrow(buf)
+}
+
+func cleanTransfer() {
+	buf := pool.Get(64)
+	sink(buf)
+}
+
+func cleanBranches(fail bool) {
+	buf := pool.Get(64)
+	if fail {
+		pool.Put(buf)
+		return
+	}
+	sink(buf)
+}
+
+// cleanLoopCopies is the fixed flood pattern: a fresh pooled copy per
+// iteration, the original transferred exactly once at the end.
+func cleanLoopCopies(ports int) {
+	frame := pool.Get(64)
+	for i := 0; i < ports-1; i++ {
+		cp := pool.Get(len(frame))
+		copy(cp, frame)
+		sink(cp)
+	}
+	sink(frame)
+}
+
+// cleanReturn transfers ownership to the caller.
+func cleanReturn() []byte {
+	buf := pool.Get(64)
+	return buf
+}
+
+// cleanEscape hands the frame to an unknown owner (func value): the pass
+// abstains rather than guessing.
+func cleanEscape(deliver func([]byte)) {
+	buf := pool.Get(64)
+	deliver(buf)
+}

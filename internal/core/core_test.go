@@ -50,6 +50,11 @@ func newBedN(t *testing.T, nHosts, nMem int, swCfg switchsim.Config, nicCfg rnic
 	b.memNIC, b.memHost, b.memPort = b.memNICs[0], b.memHosts[0], nHosts
 	b.ctrl = NewController(sw)
 	b.disp = NewDispatcher()
+	// Drain in-flight frames after the test: the package TestMain audits
+	// wire.DefaultPool for leaks, and a test that stops the clock with
+	// requests still on the wire would otherwise trip it. Tests that start
+	// tickers must stop them (e.g. Failover.Stop) or this never quiesces.
+	t.Cleanup(n.Engine.Run)
 	return b
 }
 
@@ -169,6 +174,7 @@ func TestDispatcherIgnoresNonResponses(t *testing.T) {
 	var pkt wire.Packet
 	frame := wire.BuildDataFrame(wire.MACFromUint64(1), wire.MACFromUint64(2),
 		wire.IP4{1, 1, 1, 1}, wire.IP4{2, 2, 2, 2}, 1, 2, 100, nil)
+	defer wire.DefaultPool.Put(frame)
 	if err := pkt.DecodeFromBytes(frame); err != nil {
 		t.Fatal(err)
 	}
@@ -330,10 +336,12 @@ func TestPacketBufferRingFullDrops(t *testing.T) {
 	// dispatcher wired, so responses vanish).
 	b.sw.Pipeline = switchsim.PipelineFunc(func(ctx *switchsim.Context) { ctx.Drop() })
 	b.sw.Hooks = pb
-	ctx := &switchsim.Context{}
-	_ = ctx
 	for i := 0; i < 10; i++ {
-		pb.store(dataFrame(b.hosts[0], b.hosts[2], 1500, 1))
+		// store copies the frame into the ring entry; the caller (the
+		// pipeline pass in production, this loop here) still owns it.
+		frame := dataFrame(b.hosts[0], b.hosts[2], 1500, 1)
+		pb.store(frame)
+		wire.DefaultPool.Put(frame)
 	}
 	if pb.Stats.Stored != 4 {
 		t.Fatalf("stored = %d, want 4 (ring size)", pb.Stats.Stored)

@@ -36,6 +36,7 @@ type Failover struct {
 	hbPSNs  map[uint32]bool // outstanding heartbeat READ PSNs (active channel)
 	misses  int
 	started bool
+	stopped bool
 
 	// Stats.
 	HeartbeatsSent  int64
@@ -84,10 +85,18 @@ func (f *Failover) Start() {
 	}
 	f.started = true
 	f.sw.Engine.Ticker(f.HeartbeatInterval, func() bool {
+		if f.stopped {
+			return false
+		}
 		f.tick()
 		return true
 	})
 }
+
+// Stop ends heartbeating at the next tick. The group can not be restarted;
+// it exists so a simulation can wind down to quiescence (an active ticker
+// keeps the event queue non-empty forever).
+func (f *Failover) Stop() { f.stopped = true }
 
 func (f *Failover) tick() {
 	// Unanswered probe from last tick = a miss.

@@ -31,6 +31,9 @@ func failoverBed(t *testing.T) (*bed, *StateStore, *Failover) {
 		}
 	})
 	fo.Start()
+	// Stop heartbeating before the bed's cleanup drains the engine — an
+	// active ticker would keep the event queue non-empty forever.
+	t.Cleanup(fo.Stop)
 	return b, ss, fo
 }
 

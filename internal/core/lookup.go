@@ -294,6 +294,7 @@ func (t *LookupTable) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) {
 	var inner wire.Packet
 	if err := inner.DecodeFromBytes(orig); err != nil {
 		t.Stats.BadEntries++
+		wire.DefaultPool.Put(orig) // bounced original is malformed: recycle it
 		ctx.Drop()
 		return
 	}
@@ -308,7 +309,9 @@ func (t *LookupTable) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) {
 // DefaultOutPort.
 func (t *LookupTable) ApplyDefault(ctx *switchsim.Context, frame []byte, action LookupAction) {
 	if !t.ApplyActionOnly(frame, action) {
-		ctx.Drop()
+		// frame may be the bounced original (deposit mode), not the
+		// ingress buffer: DropFrame recycles whichever it is correctly.
+		ctx.DropFrame(frame)
 		return
 	}
 	ctx.Emit(t.DefaultOutPort, frame)

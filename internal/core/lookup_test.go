@@ -195,8 +195,6 @@ func TestLookupRecirculateMode(t *testing.T) {
 	b, lt := lookupBed(t, LookupConfig{Entries: 16, Mode: LookupRecirculate, MaxRecircPasses: 20})
 	populateAll(t, b, lt, SetDSCPAction(30))
 	got := recvDSCP(b, 1)
-	memRx := b.sw.Port(b.memPort).TxMeter
-	_ = memRx
 	b.net.Ports(b.hosts[0])[0].Send(dataFrame(b.hosts[0], b.hosts[1], 1000, 5))
 	b.net.Engine.Run()
 	if len(*got) != 1 || (*got)[0] != 30 {
@@ -236,10 +234,24 @@ func TestLookupRecirculateExpires(t *testing.T) {
 		}
 		ctx.Drop()
 	})
+	// The parked frame is Retained across recirculation passes and must be
+	// Finished (returned to the pool) exactly once when the packet expires:
+	// the checked-out balance must come back to its pre-send level. A leak
+	// shows as +1, a double release as -1.
+	before := wire.DefaultPool.Stats().Balance()
 	b.net.Ports(b.hosts[0])[0].Send(dataFrame(b.hosts[0], b.hosts[1], 128, 9))
 	b.net.Engine.Run()
 	if lt.Stats.RecircExpired != 1 {
 		t.Fatalf("expired = %d, want 1 (stats %+v)", lt.Stats.RecircExpired, lt.Stats)
+	}
+	if lt.Stats.RecircPasses != int64(cfg.MaxRecircPasses) {
+		t.Fatalf("passes = %d, want %d", lt.Stats.RecircPasses, cfg.MaxRecircPasses)
+	}
+	if b.hosts[1].Received != 0 {
+		t.Fatal("expired packet was still delivered")
+	}
+	if got := wire.DefaultPool.Stats().Balance(); got != before {
+		t.Fatalf("parked frame not released exactly once on expiry: balance drifted %+d", got-before)
 	}
 }
 
@@ -280,6 +292,7 @@ func TestPopulateLookupEntryBounds(t *testing.T) {
 
 func TestRewriteHelpersFixChecksum(t *testing.T) {
 	frame := dataFrame(netsim.NewHost("a", 1), netsim.NewHost("b", 2), 100, 5)
+	defer wire.DefaultPool.Put(frame)
 	rewriteDSCP(frame, 63)
 	var p wire.Packet
 	if err := p.DecodeFromBytes(frame); err != nil {

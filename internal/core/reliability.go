@@ -96,11 +96,19 @@ func (r *Retransmitter) chParams(psn uint32) wire.RoCEParams {
 // until acknowledged) and injects a pooled copy toward the server — the
 // traffic manager recycles whatever it is handed, so the master never
 // enters the fabric.
+//
+//gem:owns
 func (r *Retransmitter) track(psn uint32, frame []byte) {
-	r.trackOnly(psn, frame)
+	// Copy to the wire first: once trackOnly owns the master, this function
+	// must not touch it again.
 	r.injectCopy(frame)
+	r.trackOnly(psn, frame)
 }
 
+// trackOnly stores frame as an unacked master without sending; the
+// retransmitter owns it until the PSN retires (ackThrough recycles it).
+//
+//gem:owns
 func (r *Retransmitter) trackOnly(psn uint32, frame []byte) {
 	r.unacked = append(r.unacked, relFrame{psn: psn, frame: frame})
 	r.armTimer()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"gem/internal/sim"
 	"gem/internal/switchsim"
@@ -303,11 +304,19 @@ func (b *PacketBuffer) retryStale() {
 		return
 	}
 	now := b.sw.Engine.Now()
-	for _, rec := range b.outstanding {
+	// Retries issue READs, which consume PSNs: iterate in entry order so the
+	// PSN assignment (and therefore the whole trace) is reproducible.
+	stale := make([]uint64, 0, len(b.outstanding))
+	//gem:deterministic — collecting keys for sorting is order-independent
+	for g, rec := range b.outstanding {
 		if now.Sub(rec.issuedAt) > b.cfg.ReadTimeout {
-			if b.issueRead(rec.g) {
-				b.Stats.ReadRetries++
-			}
+			stale = append(stale, g)
+		}
+	}
+	slices.Sort(stale)
+	for _, g := range stale {
+		if b.issueRead(b.outstanding[g].g) {
+			b.Stats.ReadRetries++
 		}
 	}
 }

@@ -90,16 +90,17 @@ func e5Baseline(cfg E5Config) (slowFrac, p50, p99 float64, cpuOps int64) {
 			ctx.Emit(1, ctx.Frame)
 			return
 		}
-		// Miss: bounce via the CPU software switch, then install.
+		// Miss: bounce via the CPU software switch, then install. The
+		// frame is parked across the detour, so declare the retention —
+		// Inject hands ownership back to the fabric when the CPU is done.
 		slow++
 		cpuOps++
 		frame := ctx.Frame
+		ctx.Retain()
 		tb.Engine.Schedule(cfg.SlowPathLatency, func() {
 			cache.Put(key, wire.IP4{})
 			tb.Switch.Inject(1, frame)
 		})
-		// Mark handled so the switch doesn't count a no-route.
-		ctx.Drop()
 	})
 	zipf := flowgen.NewZipf(5, cfg.Mappings, cfg.ZipfSkew)
 	// Closed-loop: send next packet when the previous is delivered, so

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"gem"
 	"gem/internal/flowgen"
@@ -103,16 +104,15 @@ func RunE6(cfg E6Config) (*Table, E6Result) {
 
 	// Operator side: read the counter array straight out of server DRAM
 	// and run heavy-hitter estimation (§4).
-	region := tb.Region(ch)
 	remote := make([]uint64, counters)
 	for i := range remote {
 		v, _ := tb.ReadRemoteCounter(ch, i*8)
 		remote[i] = v
 	}
-	_ = region
 
 	threshold := int64(math.Ceil(cfg.HHThresholdFrac * float64(cfg.Packets)))
 	trueHH := map[int]bool{}
+	//gem:deterministic — building a set; membership is order-independent
 	for f, c := range truth {
 		if c >= threshold {
 			trueHH[f] = true
@@ -128,7 +128,15 @@ func RunE6(cfg E6Config) (*Table, E6Result) {
 	tp, fp := 0, 0
 	var relErrSum float64
 	var relErrN int
+	// relErrSum is a float accumulation: iterate flows in sorted order so
+	// the reported error is bit-identical across runs.
+	flows := make([]int, 0, len(truth))
+	//gem:deterministic — collecting keys for sorting is order-independent
 	for f := range truth {
+		flows = append(flows, f)
+	}
+	sort.Ints(flows)
+	for _, f := range flows {
 		kb := uint64(flowKeyOf(tb, f).Hash())
 		est := cs.Estimate(remote, kb)
 		if est >= threshold {

@@ -620,7 +620,6 @@ func RunE8f(cfg E8fConfig) (*Table, E8fResult) {
 	})
 	fo.Start()
 
-	var crashedAt sim.Time
 	interval := sim.Duration(1e9 / cfg.UpdateRatePerSec)
 	var updates uint64
 	tb.Engine.Ticker(interval, func() bool {
@@ -628,10 +627,7 @@ func RunE8f(cfg E8fConfig) (*Table, E8fResult) {
 		updates++
 		return tb.Now() < gem.Time(cfg.Window)
 	})
-	tb.Engine.Schedule(cfg.CrashAt, func() {
-		crashedAt = tb.Now()
-		tb.MemNICs[0].Fail()
-	})
+	tb.Engine.Schedule(cfg.CrashAt, func() { tb.MemNICs[0].Fail() })
 	tb.RunFor(cfg.Window + 2*sim.Millisecond)
 
 	var res E8fResult
@@ -648,7 +644,6 @@ func RunE8f(cfg E8fConfig) (*Table, E8fResult) {
 		res.DetectionUs = fo.LastDetection.Seconds() * 1e6
 	}
 	res.HeartbeatsSent = fo.HeartbeatsSent
-	_ = crashedAt
 
 	t := &Table{
 		ID:      "E8f",

@@ -16,13 +16,24 @@ func twoHosts(seed int64, cfg LinkConfig) (*Net, *Host, *Host, *Port, *Port) {
 	return n, a, b, pa, pb
 }
 
+// testFrame draws a zeroed n-byte frame from the pool: receivers recycle
+// whatever they consume, and the package leak check audits the pool ledger,
+// so test frames must come from it (pooled buffers carry stale bytes).
+func testFrame(n int) []byte {
+	f := wire.DefaultPool.Get(n)
+	for i := range f {
+		f[i] = 0
+	}
+	return f
+}
+
 func TestFrameDelivery(t *testing.T) {
 	n, _, b, pa, _ := twoHosts(1, Link40G())
 	var got []byte
 	// Copy-on-retain: the frame is recycled (and poisoned under -race)
 	// after the handler returns.
 	b.Handler = func(_ *Port, f []byte) { got = append([]byte(nil), f...) }
-	frame := make([]byte, 100)
+	frame := testFrame(100)
 	frame[0] = 0xAA
 	pa.Send(frame)
 	n.Engine.Run()
@@ -39,7 +50,7 @@ func TestSerializationPlusPropagationLatency(t *testing.T) {
 	n, _, b, pa, _ := twoHosts(1, cfg)
 	var at sim.Time
 	b.Handler = func(_ *Port, _ []byte) { at = n.Engine.Now() }
-	frame := make([]byte, 1500)
+	frame := testFrame(1500)
 	pa.Send(frame)
 	n.Engine.Run()
 	// (1500+24)*8 bits / 40e9 bps = 304.8 ns serialization + 250 ns prop.
@@ -55,7 +66,7 @@ func TestBackToBackFramesSerialize(t *testing.T) {
 	var arrivals []sim.Time
 	b.Handler = func(_ *Port, _ []byte) { arrivals = append(arrivals, n.Engine.Now()) }
 	for i := 0; i < 3; i++ {
-		pa.Send(make([]byte, 1226)) // 1226+24=1250B → 1 µs at 10 Gbps
+		pa.Send(testFrame(1226)) // 1226+24=1250B → 1 µs at 10 Gbps
 	}
 	n.Engine.Run()
 	if len(arrivals) != 3 {
@@ -74,7 +85,7 @@ func TestLineRateThroughput(t *testing.T) {
 	n, _, b, pa, pb := twoHosts(1, cfg)
 	const frames = 1000
 	for i := 0; i < frames; i++ {
-		pa.Send(make([]byte, 1500))
+		pa.Send(testFrame(1500))
 	}
 	n.Engine.Run()
 	if b.Received != frames {
@@ -92,7 +103,7 @@ func TestTxQueueOverflowDrops(t *testing.T) {
 	n, _, b, pa, _ := twoHosts(1, cfg)
 	sent := 0
 	for i := 0; i < 10; i++ {
-		if pa.Send(make([]byte, 1000)) {
+		if pa.Send(testFrame(1000)) {
 			sent++
 		}
 	}
@@ -115,8 +126,8 @@ func TestFullDuplexIndependence(t *testing.T) {
 	var aAt, bAt sim.Time
 	a.Handler = func(_ *Port, _ []byte) { aAt = n.Engine.Now() }
 	b.Handler = func(_ *Port, _ []byte) { bAt = n.Engine.Now() }
-	pa.Send(make([]byte, 1226))
-	pb.Send(make([]byte, 1226))
+	pa.Send(testFrame(1226))
+	pb.Send(testFrame(1226))
 	n.Engine.Run()
 	// Both directions should complete at the same time: no shared medium.
 	if aAt != bAt || aAt == 0 {
@@ -153,7 +164,9 @@ func TestSendOnUnconnectedPortPanics(t *testing.T) {
 		}
 	}()
 	p := &Port{dev: NewHost("x", 1), cfg: Link40G()}
-	p.Send(make([]byte, 10))
+	frame := testFrame(10)
+	defer wire.DefaultPool.Put(frame) // Send panics before taking ownership
+	p.Send(frame)
 }
 
 func TestConnectZeroRatePanics(t *testing.T) {
@@ -178,7 +191,7 @@ func TestHostAddresses(t *testing.T) {
 
 func TestMetersCountFramingOverhead(t *testing.T) {
 	n, _, _, pa, pb := twoHosts(1, Link40G())
-	pa.Send(make([]byte, 100))
+	pa.Send(testFrame(100))
 	n.Engine.Run()
 	want := int64(100 + wire.EthernetFramingOverhead)
 	if pa.TxMeter.Bytes != want || pb.RxMeter.Bytes != want {
@@ -190,7 +203,7 @@ func TestQueuedFrames(t *testing.T) {
 	cfg := LinkConfig{RateBps: 1e9, Propagation: 0}
 	n, _, _, pa, _ := twoHosts(1, cfg)
 	for i := 0; i < 5; i++ {
-		pa.Send(make([]byte, 1000))
+		pa.Send(testFrame(1000))
 	}
 	if pa.QueuedFrames() != 4 {
 		t.Fatalf("queued = %d, want 4", pa.QueuedFrames())
@@ -206,7 +219,7 @@ func TestLossRateStatistics(t *testing.T) {
 	n, _, b, pa, _ := twoHosts(7, cfg)
 	const frames = 20000
 	for i := 0; i < frames; i++ {
-		pa.Send(make([]byte, 100))
+		pa.Send(testFrame(100))
 	}
 	n.Engine.Run()
 	lost := frames - int(b.Received)
@@ -222,7 +235,7 @@ func TestLossRateStatistics(t *testing.T) {
 func TestZeroLossByDefault(t *testing.T) {
 	n, _, b, pa, _ := twoHosts(7, Link40G())
 	for i := 0; i < 1000; i++ {
-		pa.Send(make([]byte, 100))
+		pa.Send(testFrame(100))
 	}
 	n.Engine.Run()
 	if b.Received != 1000 || pa.LossDrops != 0 {

@@ -574,8 +574,6 @@ func (n *NIC) scheduleResponse(qp *QP, frame []byte) {
 	})
 }
 
-func prevPSN(psn uint32) uint32 { return (psn - 1) & 0xFFFFFF }
-
 // udpEntropy derives a stable RoCEv2 UDP source port from a QPN.
 func udpEntropy(qpn uint32) uint16 { return uint16(0xC000 | qpn&0x3FFF) }
 

@@ -266,7 +266,11 @@ func TestDuplicateWriteNotReExecuted(t *testing.T) {
 		SrcIP: r.client.IP, DstIP: r.server.IP,
 		DestQP: r.qp.Number, PSN: 0,
 	}, 0x10000, r.region.RKey, []byte{0xAA})
-	r.server.Receive(r.server.Port(), append([]byte(nil), frame...))
+	// Pooled copy for the first delivery: the NIC recycles every frame it
+	// receives, and the package leak check audits the pool ledger.
+	dup := wire.DefaultPool.Get(len(frame))
+	copy(dup, frame)
+	r.server.Receive(r.server.Port(), dup)
 	r.server.Receive(r.server.Port(), frame) // exact duplicate
 	r.net.Engine.Run()
 	if r.server.Stats.ExecWrites != 1 {

@@ -265,10 +265,10 @@ func (s *Switch) runPipeline(inPort int, frame []byte) {
 		ctx.Pkt = &s.pkt
 	}
 	s.Pipeline.Ingress(&ctx)
-	if ctx.emitted || ctx.retained {
+	if ctx.frameSent || ctx.retained {
 		return
 	}
-	if !ctx.dropped {
+	if !ctx.dropped && !ctx.emitted {
 		s.Stats.NoRoute++
 	}
 	// Nothing was enqueued or parked — conscious drop or no route — so the
@@ -411,9 +411,16 @@ type Context struct {
 	// Frame is the raw frame.
 	Frame []byte
 
-	emitted  bool
-	dropped  bool
-	retained bool
+	emitted   bool
+	dropped   bool
+	retained  bool
+	frameSent bool // the ingress Frame buffer itself was handed to the TM
+}
+
+// sameBuffer reports whether two slices share a backing buffer (compared by
+// first-byte address, which re-slicing from the front preserves).
+func sameBuffer(a, b []byte) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
 }
 
 // NewContext builds a pipeline context bound to the switch for frames the
@@ -439,11 +446,27 @@ func (c *Context) Emit(port int, frame []byte) bool {
 		panic(fmt.Sprintf("switchsim: emit to invalid port %d", port))
 	}
 	c.emitted = true
+	if sameBuffer(frame, c.Frame) {
+		c.frameSent = true
+	}
 	return c.sw.enqueue(port, frame)
 }
 
 // Drop marks the packet consciously dropped (distinct from "no route").
 func (c *Context) Drop() { c.dropped = true }
+
+// DropFrame consciously drops a specific frame the caller owns. The ingress
+// Frame is left to the pass (runPipeline/Finish recycles it as usual); any
+// other buffer — a bounced original, a rewritten copy — is recycled here,
+// since the pass only accounts for the ingress buffer.
+//
+//gem:owns
+func (c *Context) DropFrame(frame []byte) {
+	c.dropped = true
+	if !sameBuffer(frame, c.Frame) {
+		wire.DefaultPool.Put(frame)
+	}
+}
 
 // Retain marks the frame as parked beyond this pipeline pass — e.g. held
 // for a scheduled recirculation continuation — so the switch does not
@@ -453,11 +476,13 @@ func (c *Context) Drop() { c.dropped = true }
 func (c *Context) Retain() { c.retained = true }
 
 // Finish completes a context synthesized with NewContext outside a Receive
-// pass: if the frame was neither emitted nor retained, the caller stands in
-// for the switch as the frame's terminal consumer and the buffer is
-// recycled. runPipeline does the equivalent for Receive passes.
+// pass: unless the Frame buffer itself was emitted/recirculated or retained,
+// the caller stands in for the switch as the frame's terminal consumer and
+// the buffer is recycled. Emitting a *different* buffer (a rewritten copy, a
+// bounced original) does not consume the ingress frame. runPipeline does the
+// equivalent for Receive passes.
 func (c *Context) Finish() {
-	if !c.emitted && !c.retained {
+	if !c.frameSent && !c.retained {
 		wire.DefaultPool.Put(c.Frame)
 	}
 }
@@ -466,6 +491,9 @@ func (c *Context) Finish() {
 // recirculation latency, as Tofino's loopback port does.
 func (c *Context) Recirculate(frame []byte) {
 	c.emitted = true
+	if sameBuffer(frame, c.Frame) {
+		c.frameSent = true
+	}
 	c.sw.Stats.Recirculated++
 	c.sw.Engine.Schedule(c.sw.Cfg.RecirculationLatency, func() {
 		c.sw.runPipeline(RecirculationPort, frame)

@@ -417,7 +417,11 @@ func TestParseErrorCounted(t *testing.T) {
 		}
 		ctx.Drop()
 	})
-	sw.Receive(sp, []byte{1, 2, 3}) // runt frame
+	// Runt frame, pooled: the switch recycles whatever it receives, and the
+	// package leak check audits the pool ledger.
+	runt := wire.DefaultPool.Get(3)
+	copy(runt, []byte{1, 2, 3})
+	sw.Receive(sp, runt)
 	n.Engine.Run()
 	if sw.Stats.ParseErrors != 1 || !dropped {
 		t.Fatalf("parse errors = %d, handler saw error = %v", sw.Stats.ParseErrors, dropped)
@@ -509,6 +513,7 @@ func TestECNMarkingAtThreshold(t *testing.T) {
 	// Marked packets must still carry a valid IP checksum.
 	var h wire.IPv4
 	f := frameBetween(hosts[0], hosts[2], 100)
+	defer wire.DefaultPool.Put(f)
 	markECN(f)
 	if err := h.DecodeFromBytes(f[wire.EthernetLen:]); err != nil {
 		t.Fatal(err)
@@ -626,20 +631,25 @@ func TestRDMAPriorityOffIsFIFO(t *testing.T) {
 
 func TestIsRoCEFrameClassification(t *testing.T) {
 	roce2 := wire.BuildReadRequest(&wire.RoCEParams{DestQP: 1}, 0, 1, 8)
+	defer wire.DefaultPool.Put(roce2)
 	if !isRoCEFrame(roce2) {
 		t.Fatal("v2 frame not classified")
 	}
 	p1 := &wire.RoCEParams{DestQP: 1, Version: wire.RoCEv1}
-	if !isRoCEFrame(wire.BuildReadRequest(p1, 0, 1, 8)) {
+	roce1 := wire.BuildReadRequest(p1, 0, 1, 8)
+	defer wire.DefaultPool.Put(roce1)
+	if !isRoCEFrame(roce1) {
 		t.Fatal("v1 frame not classified")
 	}
 	data := wire.BuildDataFrame(wire.MACFromUint64(1), wire.MACFromUint64(2),
 		wire.IP4{1, 1, 1, 1}, wire.IP4{2, 2, 2, 2}, 1, 4791, 100, nil)
+	defer wire.DefaultPool.Put(data)
 	if !isRoCEFrame(data) {
 		t.Fatal("UDP/4791 should classify as RoCE (port-based classifier)")
 	}
 	other := wire.BuildDataFrame(wire.MACFromUint64(1), wire.MACFromUint64(2),
 		wire.IP4{1, 1, 1, 1}, wire.IP4{2, 2, 2, 2}, 1, 80, 100, nil)
+	defer wire.DefaultPool.Put(other)
 	if isRoCEFrame(other) {
 		t.Fatal("plain UDP classified as RoCE")
 	}

@@ -116,9 +116,9 @@ func BuildWriteOnlyInto(pool *Pool, p *RoCEParams, va uint64, rkey uint32, paylo
 	return frame
 }
 
-// BuildWriteOnly is BuildWriteOnlyInto on the allocating path.
+// BuildWriteOnly is BuildWriteOnlyInto drawing from DefaultPool; the frame must go back to it (Put or fabric handoff).
 func BuildWriteOnly(p *RoCEParams, va uint64, rkey uint32, payload []byte) []byte {
-	return BuildWriteOnlyInto(nil, p, va, rkey, payload)
+	return BuildWriteOnlyInto(DefaultPool, p, va, rkey, payload)
 }
 
 // BuildWriteFirstInto crafts the first packet of a multi-packet WRITE of
@@ -132,9 +132,9 @@ func BuildWriteFirstInto(pool *Pool, p *RoCEParams, va uint64, rkey uint32, dmaL
 	return frame
 }
 
-// BuildWriteFirst is BuildWriteFirstInto on the allocating path.
+// BuildWriteFirst is BuildWriteFirstInto drawing from DefaultPool; the frame must go back to it (Put or fabric handoff).
 func BuildWriteFirst(p *RoCEParams, va uint64, rkey uint32, dmaLen uint32, payload []byte) []byte {
-	return BuildWriteFirstInto(nil, p, va, rkey, dmaLen, payload)
+	return BuildWriteFirstInto(DefaultPool, p, va, rkey, dmaLen, payload)
 }
 
 // BuildWriteMiddleInto crafts a middle packet of a multi-packet WRITE.
@@ -145,9 +145,9 @@ func BuildWriteMiddleInto(pool *Pool, p *RoCEParams, payload []byte) []byte {
 	return frame
 }
 
-// BuildWriteMiddle is BuildWriteMiddleInto on the allocating path.
+// BuildWriteMiddle is BuildWriteMiddleInto drawing from DefaultPool; the frame must go back to it (Put or fabric handoff).
 func BuildWriteMiddle(p *RoCEParams, payload []byte) []byte {
-	return BuildWriteMiddleInto(nil, p, payload)
+	return BuildWriteMiddleInto(DefaultPool, p, payload)
 }
 
 // BuildWriteLastInto crafts the last packet of a multi-packet WRITE.
@@ -158,9 +158,9 @@ func BuildWriteLastInto(pool *Pool, p *RoCEParams, payload []byte) []byte {
 	return frame
 }
 
-// BuildWriteLast is BuildWriteLastInto on the allocating path.
+// BuildWriteLast is BuildWriteLastInto drawing from DefaultPool; the frame must go back to it (Put or fabric handoff).
 func BuildWriteLast(p *RoCEParams, payload []byte) []byte {
-	return BuildWriteLastInto(nil, p, payload)
+	return BuildWriteLastInto(DefaultPool, p, payload)
 }
 
 // BuildReadRequestInto crafts an RDMA READ request for dmaLen bytes at va.
@@ -173,9 +173,9 @@ func BuildReadRequestInto(pool *Pool, p *RoCEParams, va uint64, rkey uint32, dma
 	return frame
 }
 
-// BuildReadRequest is BuildReadRequestInto on the allocating path.
+// BuildReadRequest is BuildReadRequestInto drawing from DefaultPool; the frame must go back to it (Put or fabric handoff).
 func BuildReadRequest(p *RoCEParams, va uint64, rkey uint32, dmaLen uint32) []byte {
-	return BuildReadRequestInto(nil, p, va, rkey, dmaLen)
+	return BuildReadRequestInto(DefaultPool, p, va, rkey, dmaLen)
 }
 
 // BuildFetchAddInto crafts an atomic Fetch-and-Add request adding delta to
@@ -189,9 +189,9 @@ func BuildFetchAddInto(pool *Pool, p *RoCEParams, va uint64, rkey uint32, delta 
 	return frame
 }
 
-// BuildFetchAdd is BuildFetchAddInto on the allocating path.
+// BuildFetchAdd is BuildFetchAddInto drawing from DefaultPool; the frame must go back to it (Put or fabric handoff).
 func BuildFetchAdd(p *RoCEParams, va uint64, rkey uint32, delta uint64) []byte {
-	return BuildFetchAddInto(nil, p, va, rkey, delta)
+	return BuildFetchAddInto(DefaultPool, p, va, rkey, delta)
 }
 
 // BuildCompareSwapInto crafts an atomic Compare-and-Swap request.
@@ -204,9 +204,9 @@ func BuildCompareSwapInto(pool *Pool, p *RoCEParams, va uint64, rkey uint32, com
 	return frame
 }
 
-// BuildCompareSwap is BuildCompareSwapInto on the allocating path.
+// BuildCompareSwap is BuildCompareSwapInto drawing from DefaultPool; the frame must go back to it (Put or fabric handoff).
 func BuildCompareSwap(p *RoCEParams, va uint64, rkey uint32, compare, swap uint64) []byte {
-	return BuildCompareSwapInto(nil, p, va, rkey, compare, swap)
+	return BuildCompareSwapInto(DefaultPool, p, va, rkey, compare, swap)
 }
 
 // BuildReadResponseInto crafts a READ response packet of the given flavour
@@ -230,9 +230,9 @@ func BuildReadResponseInto(pool *Pool, p *RoCEParams, opcode Opcode, msn uint32,
 	}
 }
 
-// BuildReadResponse is BuildReadResponseInto on the allocating path.
+// BuildReadResponse is BuildReadResponseInto drawing from DefaultPool; the frame must go back to it (Put or fabric handoff).
 func BuildReadResponse(p *RoCEParams, opcode Opcode, msn uint32, payload []byte) []byte {
-	return BuildReadResponseInto(nil, p, opcode, msn, payload)
+	return BuildReadResponseInto(DefaultPool, p, opcode, msn, payload)
 }
 
 // BuildAckInto crafts an ACK (or NAK, per syndrome) packet.
@@ -245,9 +245,9 @@ func BuildAckInto(pool *Pool, p *RoCEParams, syndrome uint8, msn uint32) []byte 
 	return frame
 }
 
-// BuildAck is BuildAckInto on the allocating path.
+// BuildAck is BuildAckInto drawing from DefaultPool; the frame must go back to it (Put or fabric handoff).
 func BuildAck(p *RoCEParams, syndrome uint8, msn uint32) []byte {
-	return BuildAckInto(nil, p, syndrome, msn)
+	return BuildAckInto(DefaultPool, p, syndrome, msn)
 }
 
 // BuildAtomicAckInto crafts an atomic acknowledge carrying the original
@@ -263,9 +263,9 @@ func BuildAtomicAckInto(pool *Pool, p *RoCEParams, msn uint32, orig uint64) []by
 	return frame
 }
 
-// BuildAtomicAck is BuildAtomicAckInto on the allocating path.
+// BuildAtomicAck is BuildAtomicAckInto drawing from DefaultPool; the frame must go back to it (Put or fabric handoff).
 func BuildAtomicAck(p *RoCEParams, msn uint32, orig uint64) []byte {
-	return BuildAtomicAckInto(nil, p, msn, orig)
+	return BuildAtomicAckInto(DefaultPool, p, msn, orig)
 }
 
 // BuildDataFrameInto assembles a plain (non-RoCE) Ethernet/IPv4/UDP frame
@@ -303,9 +303,9 @@ func BuildDataFrameInto(pool *Pool, srcMAC, dstMAC MAC, srcIP, dstIP IP4, srcPor
 	return frame
 }
 
-// BuildDataFrame is BuildDataFrameInto on the allocating path.
+// BuildDataFrame is BuildDataFrameInto drawing from DefaultPool; the frame must go back to it (Put or fabric handoff).
 func BuildDataFrame(srcMAC, dstMAC MAC, srcIP, dstIP IP4, srcPort, dstPort uint16, frameLen int, payload []byte) []byte {
-	return BuildDataFrameInto(nil, srcMAC, dstMAC, srcIP, dstIP, srcPort, dstPort, frameLen, payload)
+	return BuildDataFrameInto(DefaultPool, srcMAC, dstMAC, srcIP, dstIP, srcPort, dstPort, frameLen, payload)
 }
 
 // Packet is a fully parsed frame. Decode methods fill it in place without
@@ -380,9 +380,10 @@ func (p *Packet) DecodeFromBytes(frame []byte) error {
 		return err
 	}
 	p.HasIPv4 = true
-	// Trust TotalLen to strip link-layer padding.
+	// Trust TotalLen to strip link-layer padding — but not blindly: a
+	// TotalLen shorter than the header itself is malformed, not padding.
 	ipLen := int(p.IP.TotalLen)
-	if ipLen > len(rest) {
+	if ipLen < IPv4Len || ipLen > len(rest) {
 		return tooShort("ipv4 total length", ipLen, len(rest))
 	}
 	rest = rest[IPv4Len:ipLen]

@@ -40,9 +40,9 @@ func BuildPFCInto(pool *Pool, src MAC, quanta uint16) []byte {
 	return p.EncodeInto(pool)
 }
 
-// BuildPFC is BuildPFCInto on the allocating path.
+// BuildPFC is BuildPFCInto drawing from DefaultPool; the frame must go back to it (Put or fabric handoff).
 func BuildPFC(src MAC, quanta uint16) []byte {
-	return BuildPFCInto(nil, src, quanta)
+	return BuildPFCInto(DefaultPool, src, quanta)
 }
 
 // EncodeInto serializes the frame into a buffer drawn from pool (nil =
@@ -61,8 +61,8 @@ func (p *PFC) EncodeInto(pool *Pool) []byte {
 	return frame
 }
 
-// Encode serializes the frame on the allocating path.
-func (p *PFC) Encode() []byte { return p.EncodeInto(nil) }
+// Encode serializes the frame into a DefaultPool buffer.
+func (p *PFC) Encode() []byte { return p.EncodeInto(DefaultPool) }
 
 // DecodePFC parses frame as a PFC frame; ok is false if it is not one.
 func DecodePFC(frame []byte) (p PFC, ok bool) {

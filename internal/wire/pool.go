@@ -1,6 +1,13 @@
 package wire
 
-import "sync"
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
 
 // Pool is a free list of frame buffers keyed by power-of-two size class.
 // The simulation's "line rate" is how many frames per second the wire
@@ -31,6 +38,14 @@ type Pool struct {
 	puts     int64
 	oversize int64 // Gets larger than the largest class (plain make)
 	dropped  int64 // Puts whose capacity fit no class (left to the GC)
+
+	// trace, when non-nil, maps each checked-out buffer (by the address of
+	// its first byte) to the Get call stack that produced it. Enabled via
+	// GEM_POOL_TRACE=1 so a failing AssertBalanced can name the leaker.
+	trace map[*byte]string
+	// badPuts records stacks of Puts whose buffer was not checked out —
+	// double releases or foreign (make-allocated) frames (capped).
+	badPuts []string
 }
 
 const (
@@ -42,8 +57,42 @@ const (
 // DefaultPool is the process-wide pool the simulation components share.
 var DefaultPool = NewPool()
 
-// NewPool returns an empty pool.
-func NewPool() *Pool { return &Pool{} }
+// NewPool returns an empty pool. Setting GEM_POOL_TRACE=1 in the
+// environment makes the pool record the Get call stack of every
+// checked-out buffer so AssertBalanced can report who leaked (slow;
+// meant for chasing a failing leak check, not for benchmarks).
+func NewPool() *Pool {
+	p := &Pool{}
+	if os.Getenv("GEM_POOL_TRACE") == "1" {
+		p.trace = make(map[*byte]string)
+	}
+	return p
+}
+
+// traceKey identifies a buffer by the address of its first byte at full
+// capacity, which survives re-slicing between Get and Put.
+func traceKey(b []byte) *byte {
+	if cap(b) == 0 {
+		return nil
+	}
+	return &b[:1][0]
+}
+
+// traced records the caller stack for a checked-out buffer when tracing is
+// on, and returns the buffer either way.
+func (p *Pool) traced(b []byte) []byte {
+	if p.trace == nil {
+		return b
+	}
+	if k := traceKey(b); k != nil {
+		stk := make([]byte, 8192)
+		stk = stk[:runtime.Stack(stk, false)]
+		p.mu.Lock()
+		p.trace[k] = string(stk)
+		p.mu.Unlock()
+	}
+	return b
+}
 
 // classFor returns the smallest class whose buffers hold n bytes, or -1 if
 // n exceeds the largest class.
@@ -71,7 +120,7 @@ func (p *Pool) Get(n int) []byte {
 		p.mu.Lock()
 		p.oversize++
 		p.mu.Unlock()
-		return make([]byte, n)
+		return p.traced(make([]byte, n))
 	}
 	p.mu.Lock()
 	if free := p.free[c]; len(free) > 0 {
@@ -80,11 +129,11 @@ func (p *Pool) Get(n int) []byte {
 		p.free[c] = free[:len(free)-1]
 		p.hits++
 		p.mu.Unlock()
-		return buf[:n]
+		return p.traced(buf[:n])
 	}
 	p.misses++
 	p.mu.Unlock()
-	return make([]byte, n, 1<<(poolMinShift+c))
+	return p.traced(make([]byte, n, 1<<(poolMinShift+c)))
 }
 
 // Put returns a buffer to the pool. Buffers smaller than the smallest class
@@ -94,6 +143,20 @@ func (p *Pool) Get(n int) []byte {
 func (p *Pool) Put(b []byte) {
 	if p == nil || b == nil {
 		return
+	}
+	if p.trace != nil {
+		if k := traceKey(b); k != nil {
+			stk := make([]byte, 8192)
+			stk = stk[:runtime.Stack(stk, false)]
+			p.mu.Lock()
+			if _, ok := p.trace[k]; ok {
+				delete(p.trace, k)
+			} else if len(p.badPuts) < 16 {
+				// Not checked out: a double release or a foreign frame.
+				p.badPuts = append(p.badPuts, string(stk))
+			}
+			p.mu.Unlock()
+		}
 	}
 	if poolPoison {
 		// Race/debug builds overwrite released buffers so a consumer that
@@ -127,6 +190,64 @@ type PoolStats struct {
 	OversizeGets int64 // Gets larger than the largest class (plain make)
 	DroppedPuts  int64 // Puts whose capacity fit no class (left to the GC)
 	Free         int   // buffers currently pooled
+}
+
+// Balance returns gets minus puts: the number of buffers currently checked
+// out of the pool. A steady-state simulation should return to the balance it
+// started from once all frames drain.
+func (s PoolStats) Balance() int64 {
+	return (s.Hits + s.Misses + s.OversizeGets) - (s.Puts + s.DroppedPuts)
+}
+
+// AssertBalanced checks the ownership ledger: every Get must have been
+// matched by a Put, except for `live` frames the caller knows are still
+// legitimately held (parked continuations, queued frames counted by the
+// caller). It returns an error describing the imbalance — a positive drift
+// is a leak, a negative one a double release.
+func (p *Pool) AssertBalanced(live int64) error {
+	s := p.Stats()
+	if got := s.Balance(); got != live {
+		return fmt.Errorf("wire: pool imbalance: %d buffers checked out, want %d live (gets=%d puts=%d): %+v%s",
+			got, live, s.Hits+s.Misses+s.OversizeGets, s.Puts+s.DroppedPuts, s, p.traceReport())
+	}
+	return nil
+}
+
+// traceReport summarizes outstanding Get stacks (GEM_POOL_TRACE=1), grouped
+// by identical stack with a count, most frequent first.
+func (p *Pool) traceReport() string {
+	if p == nil || p.trace == nil {
+		return ""
+	}
+	p.mu.Lock()
+	counts := make(map[string]int, len(p.trace))
+	//gem:deterministic — aggregating counts is order-independent
+	for _, stk := range p.trace {
+		counts[stk]++
+	}
+	p.mu.Unlock()
+	stacks := make([]string, 0, len(counts))
+	//gem:deterministic — collecting keys for sorting is order-independent
+	for stk := range counts {
+		stacks = append(stacks, stk)
+	}
+	sort.Slice(stacks, func(i, j int) bool {
+		if counts[stacks[i]] != counts[stacks[j]] {
+			return counts[stacks[i]] > counts[stacks[j]]
+		}
+		return stacks[i] < stacks[j]
+	})
+	var sb strings.Builder
+	for _, stk := range stacks {
+		fmt.Fprintf(&sb, "\n--- %d buffer(s) checked out from:\n%s", counts[stk], stk)
+	}
+	p.mu.Lock()
+	bad := p.badPuts
+	p.mu.Unlock()
+	for _, stk := range bad {
+		fmt.Fprintf(&sb, "\n--- Put of a buffer not checked out (double release or foreign frame) at:\n%s", stk)
+	}
+	return sb.String()
 }
 
 // Stats returns a snapshot of the pool's counters.
