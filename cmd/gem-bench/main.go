@@ -29,7 +29,7 @@ import (
 
 func main() {
 	runList := flag.String("run", "all",
-		"comma-separated experiment ids (E1..E7, E8a..E8f) or 'all'")
+		"comma-separated experiment ids (E1..E7, E8a..E8f, E9) or 'all'")
 	quick := flag.Bool("quick", false, "reduced parameters for a fast smoke run")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"number of experiments to run concurrently")
@@ -37,7 +37,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *runList == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8A", "E8B", "E8C", "E8D", "E8E", "E8F"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8A", "E8B", "E8C", "E8D", "E8E", "E8F", "E9"} {
 			want[id] = true
 		}
 	} else {
@@ -156,6 +156,12 @@ func main() {
 				cfg.CrashAt = 2 * sim.Millisecond
 			}
 			t, _ := harness.RunE8f(cfg)
+			return t
+		}},
+		// E9 is already a short run (four microsecond-scale scenarios);
+		// -quick changes nothing.
+		{"E9", func() *harness.Table {
+			t, _ := harness.RunE9(harness.DefaultE9Config())
 			return t
 		}},
 	}

@@ -40,6 +40,7 @@ import (
 var frameownScope = []string{
 	"gem/internal/switchsim", "gem/internal/netsim",
 	"gem/internal/rnic", "gem/internal/core",
+	"gem/internal/faults",
 }
 
 // hotallocScope are the designated allocation-free hot-path packages.

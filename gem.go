@@ -166,6 +166,12 @@ type Testbed struct {
 	Dispatcher *core.Dispatcher
 
 	hostPorts []*netsim.Port // host-side port of each host link
+
+	// chanNIC remembers which server NIC each channel was established to,
+	// keyed by the channel's switch-side QPN. RKeys and QPNs are per-NIC
+	// namespaces, so with several memory servers they collide — a lookup by
+	// RKey alone can land on the wrong server's DRAM.
+	chanNIC map[uint32]*rnic.NIC
 }
 
 // New builds and wires a testbed.
@@ -243,7 +249,7 @@ func (tb *Testbed) Establish(mem int, spec ChannelSpec) (*core.Channel, error) {
 	if base == 0 {
 		base = 0x10000000
 	}
-	return tb.Controller.Establish(core.ChannelSpec{
+	ch, err := tb.Controller.Establish(core.ChannelSpec{
 		SwitchPort: tb.SwitchPortOfMem(mem),
 		NIC:        tb.MemNICs[mem],
 		RegionBase: base,
@@ -252,6 +258,14 @@ func (tb *Testbed) Establish(mem int, spec ChannelSpec) (*core.Channel, error) {
 		AckReq:     spec.AckReq,
 		Version:    spec.Version,
 	})
+	if err != nil {
+		return nil, err
+	}
+	if tb.chanNIC == nil {
+		tb.chanNIC = make(map[uint32]*rnic.NIC)
+	}
+	tb.chanNIC[ch.ID] = tb.MemNICs[mem]
+	return ch, nil
 }
 
 // SetPipeline installs the switch program. The dispatcher runs first so
@@ -298,6 +312,11 @@ func (tb *Testbed) ServerCPUOps() int64 {
 // ReadRemoteCounter reads the 8-byte counter at offset in ch's region
 // directly from server DRAM (operator-side estimation path).
 func (tb *Testbed) ReadRemoteCounter(ch *Channel, offset int) (uint64, error) {
+	if nic := tb.chanNIC[ch.ID]; nic != nil {
+		return nic.ReadCounter(ch.RKey, ch.Base+uint64(offset))
+	}
+	// Channels established outside the facade: fall back to the RKey scan
+	// (unambiguous on single-server testbeds).
 	for _, nic := range tb.MemNICs {
 		if r := nic.LookupRegion(ch.RKey); r != nil {
 			return nic.ReadCounter(ch.RKey, ch.Base+uint64(offset))
@@ -309,6 +328,9 @@ func (tb *Testbed) ReadRemoteCounter(ch *Channel, offset int) (uint64, error) {
 // Region returns the backing DRAM of ch's region for server-side setup
 // (e.g. populating lookup entries) and verification.
 func (tb *Testbed) Region(ch *Channel) *rnic.Region {
+	if nic := tb.chanNIC[ch.ID]; nic != nil {
+		return nic.LookupRegion(ch.RKey)
+	}
 	for _, nic := range tb.MemNICs {
 		if r := nic.LookupRegion(ch.RKey); r != nil {
 			return r

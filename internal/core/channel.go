@@ -136,6 +136,11 @@ func (c *Channel) NextPSN(n uint32) uint32 {
 // PSN returns the next PSN that will be assigned (for tests).
 func (c *Channel) PSN() uint32 { return uint32(c.psn.Get(0)) }
 
+// SetPSN forces the next PSN — the resynchronization hook for a strict
+// stream whose NIC-side expectation diverged from the switch (a NAK names
+// the PSN the NIC wants; see Retransmitter's desync recovery).
+func (c *Channel) SetPSN(v uint32) { c.psn.Set(0, uint64(v&0xFFFFFF)) }
+
 // params returns request addressing by value so it stays on the caller's
 // stack (the builders only read through the pointer).
 func (c *Channel) params(psn uint32) wire.RoCEParams {

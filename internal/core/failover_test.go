@@ -66,7 +66,7 @@ func TestFailoverOnServerCrash(t *testing.T) {
 		ss.Update(3, 1)
 	}
 	b.net.Engine.RunFor(1 * sim.Millisecond)
-	vPrimary, _ := b.memNICs[0].ReadCounter(fo.channels[0].RKey, fo.channels[0].Base+3*8)
+	vPrimary, _ := b.memNICs[0].ReadCounter(fo.members[0].ch.RKey, fo.members[0].ch.Base+3*8)
 	if vPrimary != 50 {
 		t.Fatalf("primary counter = %d, want 50", vPrimary)
 	}
@@ -77,7 +77,7 @@ func TestFailoverOnServerCrash(t *testing.T) {
 	if fo.Failovers != 1 {
 		t.Fatalf("failovers = %d, want 1", fo.Failovers)
 	}
-	if fo.Active() != fo.channels[1] {
+	if fo.Active() != fo.members[1].ch {
 		t.Fatal("active channel not the standby")
 	}
 	// Detection within (threshold+1) heartbeat intervals.
@@ -91,7 +91,7 @@ func TestFailoverOnServerCrash(t *testing.T) {
 		ss.Update(3, 1)
 	}
 	b.net.Engine.RunFor(1 * sim.Millisecond)
-	vStandby, _ := b.memNICs[1].ReadCounter(fo.channels[1].RKey, fo.channels[1].Base+3*8)
+	vStandby, _ := b.memNICs[1].ReadCounter(fo.members[1].ch.RKey, fo.members[1].ch.Base+3*8)
 	if vStandby != 30 {
 		t.Fatalf("standby counter = %d, want 30", vStandby)
 	}
@@ -114,7 +114,7 @@ func TestFailoverPreservesPendingUpdates(t *testing.T) {
 	}
 	ss.Update(7, 1) // nudge a flush after rebinding
 	b.net.Engine.RunFor(2 * sim.Millisecond)
-	vStandby, _ := b.memNICs[1].ReadCounter(fo.channels[1].RKey, fo.channels[1].Base+7*8)
+	vStandby, _ := b.memNICs[1].ReadCounter(fo.members[1].ch.RKey, fo.members[1].ch.Base+7*8)
 	lostInFlight := uint64(101) - vStandby - ss.PendingTotal()
 	// Only updates that were already in flight as FAAs at crash time may
 	// be lost; everything accumulated locally must survive the failover.
@@ -158,5 +158,129 @@ func TestFailedNICDropsAndRecovers(t *testing.T) {
 	b.net.Engine.Run()
 	if v, _ := b.memNIC.ReadCounter(ch.RKey, ch.Base); v != 5 {
 		t.Fatalf("recovered NIC counter = %d, want 5", v)
+	}
+}
+
+// reliableFailoverBed: two memory servers with strict AckReq channels, a
+// retransmitter + state store on the primary, and a failover group over
+// separate tolerant probe channels (an untracked lost probe on a strict QP
+// would wedge its PSN stream).
+func reliableFailoverBed(t *testing.T) (*bed, *StateStore, *Retransmitter, *Failover, [2]*Channel) {
+	t.Helper()
+	b := newBedN(t, 1, 2, switchsim.Config{}, rnic.Config{})
+	probeP := b.establishOn(t, 0, 1<<16, rnic.PSNTolerant, false)
+	probeS := b.establishOn(t, 1, 1<<16, rnic.PSNTolerant, false)
+	dataP, err := b.ctrl.Establish(ChannelSpec{
+		SwitchPort: 1, NIC: b.memNICs[0],
+		RegionBase: 0x200000, RegionSize: 1 << 16,
+		Mode: rnic.PSNStrict, AckReq: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataS, err := b.ctrl.Establish(ChannelSpec{
+		SwitchPort: 2, NIC: b.memNICs[1],
+		RegionBase: 0x200000, RegionSize: 1 << 16,
+		Mode: rnic.PSNStrict, AckReq: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRetransmitter(dataP, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewStateStore(dataP, StateStoreConfig{Counters: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss.SetRetransmitter(rt)
+	rt.Inner = ss
+	fo, err := NewFailover([]*Channel{probeP, probeS}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataOf := map[*Channel]*Channel{probeP: dataP, probeS: dataS}
+	fo.OnFailover = func(_, newProbe *Channel) {
+		data := dataOf[newProbe]
+		rt.Retarget(data)
+		ss.Rebind(data)
+	}
+	fo.RegisterWith(b.disp)
+	b.disp.Register(dataP, rt)
+	b.disp.Register(dataS, rt)
+	b.sw.Pipeline = switchsim.PipelineFunc(func(ctx *switchsim.Context) {
+		if !b.disp.Dispatch(ctx) {
+			ctx.Drop()
+		}
+	})
+	fo.Start()
+	t.Cleanup(fo.Stop)
+	return b, ss, rt, fo, [2]*Channel{dataP, dataS}
+}
+
+func TestFailoverRetargetsRetransmitWindow(t *testing.T) {
+	// Failover racing in-flight retransmissions: the primary dies with the
+	// retransmit window full, the retransmitter keeps resending into the
+	// dead server until the heartbeat misses trigger failover, and Retarget
+	// must move every tracked master to the standby's channel without
+	// leaking or double-releasing the frames (the package TestMain audits
+	// the pool for exactly that).
+	b, ss, rt, fo, data := reliableFailoverBed(t)
+	b.memNICs[0].Fail()
+	const n = 20
+	for i := 0; i < n; i++ {
+		ss.Update(i%4, 1)
+	}
+	if rt.Unacked() != rt.Window {
+		t.Fatalf("window not full at crash: %d of %d", rt.Unacked(), rt.Window)
+	}
+	b.net.Engine.RunFor(2 * sim.Millisecond)
+	if fo.Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", fo.Failovers)
+	}
+	if rt.Retargeted != int64(rt.Window) {
+		t.Fatalf("retargeted %d of %d tracked requests", rt.Retargeted, rt.Window)
+	}
+	if rt.Unacked() != 0 {
+		t.Fatalf("unacked = %d after failover drain", rt.Unacked())
+	}
+	// The dead primary executed nothing, so despite retargeting being
+	// at-least-once in general, here every update lands exactly once.
+	var total uint64
+	for i := 0; i < 4; i++ {
+		v, _ := b.memNICs[1].ReadCounter(data[1].RKey, data[1].Base+uint64(i*8))
+		total += v
+	}
+	if total+ss.PendingTotal() != n {
+		t.Fatalf("standby total %d + pending %d != %d issued", total, ss.PendingTotal(), n)
+	}
+}
+
+func TestFailbackToRecoveredPrimary(t *testing.T) {
+	// Regression: unanswered probes from the outage linger in the member's
+	// outstanding set; liveness must judge only the newest probe, or a
+	// recovered primary looks dead forever and failback never happens.
+	b, ss, _, fo, data := reliableFailoverBed(t)
+	b.memNICs[0].Fail()
+	ss.Update(0, 1)
+	b.net.Engine.RunFor(2 * sim.Millisecond)
+	if fo.Failovers != 1 || fo.Failbacks != 0 {
+		t.Fatalf("after crash: %d failovers, %d failbacks", fo.Failovers, fo.Failbacks)
+	}
+	b.memNICs[0].Recover()
+	b.net.Engine.RunFor(2 * sim.Millisecond)
+	if fo.Failbacks != 1 {
+		t.Fatalf("failbacks = %d, want 1 (%d probes, %d acked)",
+			fo.Failbacks, fo.FailbackProbes, fo.FailbackAcks)
+	}
+	if fo.Active() != fo.members[0].ch {
+		t.Fatal("active member is not the recovered primary")
+	}
+	// Updates after failback land on the primary again.
+	ss.Update(1, 1)
+	b.net.Engine.RunFor(1 * sim.Millisecond)
+	if v, _ := b.memNICs[0].ReadCounter(data[0].RKey, data[0].Base+8); v != 1 {
+		t.Fatalf("post-failback update did not reach the primary (got %d)", v)
 	}
 }

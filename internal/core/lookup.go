@@ -89,6 +89,9 @@ type LookupStats struct {
 	RecircPasses  int64 // recirculation passes (recirculate mode)
 	RecircExpired int64 // packets dropped after MaxRecircPasses
 	BadEntries    int64 // malformed remote entries
+	// DegradedMisses counts cache misses handled while the table was
+	// degraded (resolved by SlowPath or dropped) instead of going remote.
+	DegradedMisses int64
 }
 
 // LookupTable is the lookup-table primitive (§4): a match-action table in
@@ -107,6 +110,12 @@ type LookupTable struct {
 	Apply func(ctx *switchsim.Context, frame []byte, action LookupAction)
 	// DefaultOutPort is where ApplyDefault emits processed packets.
 	DefaultOutPort int
+
+	// SlowPath resolves a miss while the table is degraded — the model of
+	// punting to the switch CPU, which holds (a shard of) the mapping, when
+	// remote memory is unreachable. Nil means degraded misses drop.
+	SlowPath func(key wire.FlowKey) (LookupAction, bool)
+	degraded bool
 
 	// pendingActions holds actions fetched by the recirculation variant,
 	// keyed by table index, until the parked packet comes around again.
@@ -157,6 +166,13 @@ func (t *LookupTable) Channel() *Channel { return t.ch }
 // Cache exposes the local cache (nil when disabled).
 func (t *LookupTable) Cache() *switchsim.CacheTable[wire.FlowKey, LookupAction] { return t.cache }
 
+// SetDegraded switches the table between normal operation and the CPU
+// slow-path degraded mode (no remote traffic while degraded).
+func (t *LookupTable) SetDegraded(on bool) { t.degraded = on }
+
+// Degraded reports whether the table is in degraded mode.
+func (t *LookupTable) Degraded() bool { return t.degraded }
+
 // Lookup is the data-plane action: resolve the action for frame (whose
 // parsed form is pkt) and apply it. Cache hits complete locally; misses go
 // to remote memory with zero switch-side packet storage (deposit mode).
@@ -169,6 +185,24 @@ func (t *LookupTable) Lookup(ctx *switchsim.Context, frame []byte, pkt *wire.Pac
 			t.Apply(ctx, frame, action)
 			return
 		}
+	}
+	if t.degraded {
+		// Degraded mode: the memory link is down or the server unreachable,
+		// so misses must not go remote. Resolve on the CPU slow path (and
+		// warm the cache so recovery is graceful) or drop.
+		t.Stats.DegradedMisses++
+		if t.SlowPath != nil {
+			if action, ok := t.SlowPath(key); ok {
+				if t.cache != nil {
+					t.cache.Put(key, action)
+				}
+				t.Stats.Applied++
+				t.Apply(ctx, frame, action)
+				return
+			}
+		}
+		ctx.Drop()
+		return
 	}
 	t.Stats.RemoteLookups++
 	idx := key.Index(t.cfg.Entries)

@@ -17,14 +17,42 @@ import (
 // memory, and retransmits go-back-N style on a NAK or a timeout. Combined
 // with the RNIC's atomic replay cache this makes remote counters exact even
 // across packet loss on the memory link (experiment E8c).
+//
+// Recovery is bounded and adaptive: with EnableAdaptiveRTO the retransmit
+// timeout tracks the measured RTT (RFC 6298 estimator, Karn's exclusion of
+// retransmitted samples) and backs off exponentially up to MaxRTO across
+// consecutive no-progress timeout rounds. MaxRetries caps those rounds;
+// when the budget is spent the retransmitter goes quiet and fires
+// OnExhausted exactly once, so a Failover can escalate instead of the
+// switch hammering a dead server forever (experiment E9).
 type Retransmitter struct {
 	ch *Channel
 	sw *switchsim.Switch
 
-	// Timeout before unacknowledged requests are resent.
+	// Timeout before unacknowledged requests are resent. With AdaptiveRTO
+	// it only seeds the timer until the first RTT sample lands.
 	Timeout sim.Duration
 	// Window caps unacknowledged requests in flight.
 	Window int
+
+	// AdaptiveRTO switches the retransmit timer from fixed Timeout to the
+	// RFC 6298 estimator with exponential backoff. Off by default so
+	// existing users keep byte-identical schedules.
+	AdaptiveRTO bool
+	// MinRTO and MaxRTO clamp the adaptive timeout (and cap the backoff).
+	MinRTO, MaxRTO sim.Duration
+	// MaxRetries bounds consecutive timeout rounds without ACK progress
+	// before the retransmitter escalates via OnExhausted (0 = unlimited).
+	MaxRetries int
+	// OnExhausted fires once when MaxRetries is exceeded. The retransmitter
+	// stops resending until an ACK retires a frame or Retarget moves the
+	// window to a new channel.
+	OnExhausted func()
+
+	srtt, rttvar sim.Duration
+	haveSample   bool
+	backoff      int
+	exhausted    bool
 
 	unacked []relFrame
 	timer   *sim.Event
@@ -36,11 +64,24 @@ type Retransmitter struct {
 	// Stats.
 	Retransmits int64
 	NaksSeen    int64
+	RTTSamples  int64
+	Escalations int64
+	Retargeted  int64
+	// Resyncs counts PSN-stream resynchronizations: a NAK named a PSN below
+	// the tracked window (possible only after a Retarget moved those frames
+	// to another server), so the stream was rewound to the NIC's expected
+	// PSN and the window rebuilt there.
+	Resyncs int64
 }
 
 type relFrame struct {
-	psn   uint32
-	frame []byte
+	psn    uint32
+	frame  []byte
+	sentAt sim.Time
+	// rexmit marks frames that have been resent at least once; their ACKs
+	// are ambiguous (original or retransmission?) and are excluded from RTT
+	// sampling per Karn's algorithm.
+	rexmit bool
 }
 
 // NewRetransmitter wraps channel ch. The channel must have been established
@@ -57,6 +98,22 @@ func NewRetransmitter(ch *Channel, window int) (*Retransmitter, error) {
 		Timeout: 100 * sim.Microsecond,
 		Window:  window,
 	}, nil
+}
+
+// EnableAdaptiveRTO turns on the RTT estimator with sensible clamps for the
+// simulated fabrics (fall back to callers setting the fields directly for
+// anything unusual). MinRTO sits at ~10× the fabric RTT, mirroring how real
+// stacks keep a conservative floor (Linux: 200 ms against ~ms RTTs): with a
+// stable RTT the estimator converges to srtt ≈ RTT and anything tighter
+// turns ordinary jitter into spurious go-back-N rounds.
+func (r *Retransmitter) EnableAdaptiveRTO() {
+	r.AdaptiveRTO = true
+	if r.MinRTO == 0 {
+		r.MinRTO = 50 * sim.Microsecond
+	}
+	if r.MaxRTO == 0 {
+		r.MaxRTO = 5 * sim.Millisecond
+	}
 }
 
 // FetchAdd issues a *reliable* Fetch-and-Add: the request is tracked and
@@ -86,6 +143,16 @@ func (r *Retransmitter) Write(offset int, payload []byte) uint32 {
 // tracked request.
 func (r *Retransmitter) CanSend() bool { return len(r.unacked) < r.Window }
 
+// Exhausted reports whether the retry budget is spent and the retransmitter
+// is waiting for an ACK or a Retarget.
+func (r *Retransmitter) Exhausted() bool { return r.exhausted }
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (r *Retransmitter) SRTT() sim.Duration { return r.srtt }
+
+// RTO returns the timeout the next armed timer would use.
+func (r *Retransmitter) RTO() sim.Duration { return r.rto() }
+
 func (r *Retransmitter) chParams(psn uint32) wire.RoCEParams {
 	p := r.ch.params(psn)
 	p.AckReq = true
@@ -110,7 +177,7 @@ func (r *Retransmitter) track(psn uint32, frame []byte) {
 //
 //gem:owns
 func (r *Retransmitter) trackOnly(psn uint32, frame []byte) {
-	r.unacked = append(r.unacked, relFrame{psn: psn, frame: frame})
+	r.unacked = append(r.unacked, relFrame{psn: psn, frame: frame, sentAt: r.sw.Engine.Now()})
 	r.armTimer()
 }
 
@@ -120,25 +187,96 @@ func (r *Retransmitter) injectCopy(frame []byte) {
 	r.ch.inject(c)
 }
 
+// rto returns the current retransmission timeout: fixed Timeout in legacy
+// mode, the clamped RFC 6298 estimate shifted by the backoff otherwise.
+func (r *Retransmitter) rto() sim.Duration {
+	if !r.AdaptiveRTO {
+		return r.Timeout
+	}
+	d := r.Timeout
+	if r.haveSample {
+		d = r.srtt + 4*r.rttvar
+	}
+	if d < r.MinRTO {
+		d = r.MinRTO
+	}
+	for i := 0; i < r.backoff && d < r.MaxRTO; i++ {
+		d *= 2
+	}
+	if r.MaxRTO > 0 && d > r.MaxRTO {
+		d = r.MaxRTO
+	}
+	return d
+}
+
+// sample folds one RTT measurement into the estimator (RFC 6298).
+func (r *Retransmitter) sample(s sim.Duration) {
+	r.RTTSamples++
+	if !r.haveSample {
+		r.srtt = s
+		r.rttvar = s / 2
+		r.haveSample = true
+		return
+	}
+	diff := r.srtt - s
+	if diff < 0 {
+		diff = -diff
+	}
+	r.rttvar = (3*r.rttvar + diff) / 4
+	r.srtt = (7*r.srtt + s) / 8
+}
+
 func (r *Retransmitter) armTimer() {
 	if r.timer != nil {
 		r.sw.Engine.Cancel(r.timer)
 		r.timer = nil
 	}
+	if len(r.unacked) == 0 || r.exhausted {
+		return
+	}
+	r.timer = r.sw.Engine.Schedule(r.rto(), r.onTimeout)
+}
+
+// onTimeout is a no-progress round: back the timer off, spend retry budget,
+// then go-back-N.
+func (r *Retransmitter) onTimeout() {
+	r.timer = nil
 	if len(r.unacked) == 0 {
 		return
 	}
-	r.timer = r.sw.Engine.Schedule(r.Timeout, r.goBackN)
+	if r.AdaptiveRTO {
+		r.backoff++
+		if r.MaxRetries > 0 && r.backoff > r.MaxRetries {
+			r.escalate()
+			return
+		}
+	}
+	r.resendAll()
 }
 
-// goBackN resends every unacknowledged frame in order.
-func (r *Retransmitter) goBackN() {
-	r.timer = nil
-	for _, u := range r.unacked {
+// resendAll retransmits every unacknowledged frame in order (go-back-N) and
+// re-arms the timer.
+func (r *Retransmitter) resendAll() {
+	for i := range r.unacked {
 		r.Retransmits++
-		r.injectCopy(u.frame)
+		r.unacked[i].rexmit = true
+		r.injectCopy(r.unacked[i].frame)
 	}
 	r.armTimer()
+}
+
+// escalate fires the exhaustion callback once and parks the retransmitter:
+// masters stay tracked (Retarget can still move them) but nothing is resent
+// until progress or a retarget resets the state.
+func (r *Retransmitter) escalate() {
+	if r.exhausted {
+		return
+	}
+	r.exhausted = true
+	r.Escalations++
+	if r.OnExhausted != nil {
+		r.OnExhausted()
+	}
 }
 
 // Unacked reports the number of tracked, unacknowledged requests.
@@ -151,13 +289,30 @@ func (r *Retransmitter) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet)
 	case wire.OpAcknowledge:
 		if pkt.HasAETH && pkt.AETH.IsNak() {
 			r.NaksSeen++
-			r.goBackN()
+			// A NAK at PSN n reports the first missing packet: everything
+			// before n was received and must retire first, or go-back-N
+			// needlessly resends (and the server re-executes) the prefix.
+			e := pkt.BTH.PSN
+			r.retire((e - 1) & 0xFFFFFF)
+			if len(r.unacked) > 0 && psnAfter24(r.unacked[0].psn, e) {
+				// Sequence desync: the NIC expects a PSN we no longer hold —
+				// its frame moved to another server in a Retarget (failback
+				// lands here: the stream resumes past the crash gap). The
+				// gap can never be filled, so resending higher PSNs would
+				// wedge the QP forever; instead resume the stream at the
+				// expected PSN and rebuild the window onto it.
+				r.Resyncs++
+				r.ch.SetPSN(e)
+				r.rebuildWindow(r.ch.Base)
+			} else {
+				r.resendAll()
+			}
 			ctx.Drop()
 			return
 		}
-		r.ackThrough(pkt.BTH.PSN)
+		r.retire(pkt.BTH.PSN)
 	case wire.OpAtomicAcknowledge:
-		r.ackThrough(pkt.BTH.PSN)
+		r.retire(pkt.BTH.PSN)
 	}
 	if r.Inner != nil {
 		r.Inner.HandleResponse(ctx, pkt)
@@ -165,6 +320,32 @@ func (r *Retransmitter) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet)
 		ctx.Drop()
 	}
 	r.armTimer()
+}
+
+// retire samples the RTT for a cleanly-acked frame (Karn's algorithm skips
+// retransmitted ones) and acknowledges cumulatively. Any retired frame is
+// progress and un-exhausts the retransmitter, but per RFC 6298 the backoff
+// collapses only on a *valid* sample: an ACK for a retransmitted frame says
+// nothing about the path's current RTT, and keeping the backed-off RTO
+// until a clean measurement is what lets the timer ride out a cluster of
+// latency spikes without re-climbing the ladder for each one.
+func (r *Retransmitter) retire(psn uint32) {
+	before := len(r.unacked)
+	if r.AdaptiveRTO {
+		for _, u := range r.unacked {
+			if u.psn == psn {
+				if !u.rexmit {
+					r.sample(r.sw.Engine.Now().Sub(u.sentAt))
+					r.backoff = 0
+				}
+				break
+			}
+		}
+	}
+	r.ackThrough(psn)
+	if len(r.unacked) < before {
+		r.exhausted = false
+	}
 }
 
 // ackThrough drops every tracked frame at or before psn (cumulative ACK),
@@ -182,4 +363,51 @@ func (r *Retransmitter) ackThrough(psn uint32) {
 		r.unacked[i] = relFrame{}
 	}
 	r.unacked = keep
+}
+
+// Retarget re-issues every unacknowledged request on ch — the failover path
+// for in-flight state: each tracked master is decoded, rebuilt against the
+// new channel's region with fresh PSNs, and the old master recycled. Returns
+// how many requests moved. Note the exactness caveat: a request the old
+// server executed but never acknowledged is re-executed on the new one, so
+// retargeted windows are at-least-once, not exactly-once.
+func (r *Retransmitter) Retarget(ch *Channel) int {
+	oldBase := r.ch.Base
+	r.ch = ch
+	r.sw = ch.sw
+	r.backoff = 0
+	r.exhausted = false
+	// The path changed; RTT history from the old server no longer applies.
+	r.haveSample = false
+	r.srtt, r.rttvar = 0, 0
+	moved := r.rebuildWindow(oldBase)
+	r.Retargeted += int64(moved)
+	return moved
+}
+
+// rebuildWindow re-issues every tracked master on the current channel with
+// fresh PSNs: each frame is decoded, rebuilt against the channel's region
+// (offsets translated from oldBase), and the old master recycled.
+func (r *Retransmitter) rebuildWindow(oldBase uint64) int {
+	old := r.unacked
+	r.unacked = nil
+	moved := 0
+	for _, u := range old {
+		var pkt wire.Packet
+		if err := pkt.DecodeFromBytes(u.frame); err == nil {
+			switch pkt.BTH.Opcode {
+			case wire.OpFetchAdd:
+				// Write/FetchAdd copy out of the old master before we
+				// recycle it below.
+				r.FetchAdd(int(pkt.AtomicETH.VA-oldBase), pkt.AtomicETH.SwapAdd)
+				moved++
+			case wire.OpWriteOnly:
+				r.Write(int(pkt.RETH.VA-oldBase), pkt.Payload)
+				moved++
+			}
+		}
+		wire.DefaultPool.Put(u.frame)
+	}
+	r.armTimer()
+	return moved
 }

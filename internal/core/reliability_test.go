@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"testing"
 
 	"gem/internal/netsim"
@@ -215,5 +216,136 @@ func TestRetransmitterForwardsToInner(t *testing.T) {
 	b.net.Engine.Run()
 	if inner != 1 {
 		t.Fatalf("inner saw %d atomic acks, want 1", inner)
+	}
+}
+
+// scriptedDrops is a deterministic fault injector: it drops the frames whose
+// 0-based transmit index is listed, and nothing else.
+type scriptedDrops struct {
+	drop map[int]bool
+	n    int
+}
+
+func (s *scriptedDrops) Transmit(_ sim.Time, _ *rand.Rand, _ []byte) (bool, sim.Duration) {
+	d := s.drop[s.n]
+	s.n++
+	return d, 0
+}
+
+// ackDropper drops the first n atomic acknowledgements and passes everything
+// else (in particular NAKs, which the NIC emits at receive time and thus
+// interleave unpredictably with the execution-delayed atomic ACKs).
+type ackDropper struct{ n int }
+
+func (a *ackDropper) Transmit(_ sim.Time, _ *rand.Rand, frame []byte) (bool, sim.Duration) {
+	if a.n > 0 {
+		var pkt wire.Packet
+		if pkt.DecodeFromBytes(frame) == nil && pkt.BTH.Opcode == wire.OpAtomicAcknowledge {
+			a.n--
+			return true, 0
+		}
+	}
+	return false, 0
+}
+
+func TestNakImplicitlyAcksPrefix(t *testing.T) {
+	// Four FAAs; the PSN-2 request and the atomic ACKs for PSNs 0 and 1 are
+	// dropped. The NIC NAKs at PSN 2 when PSN 3 arrives, and that NAK is the
+	// *only* feedback the retransmitter ever gets for the prefix: a NAK at n
+	// means everything before n was received, so go-back-N must resend PSNs
+	// 2..3 only. Resending the prefix too would show up as 4 retransmits
+	// (and pointless duplicate execution at the server).
+	b := newBed(t, 1, switchsim.Config{}, rnic.Config{})
+	ch := b.establish(t, 4096, rnic.PSNStrict, true)
+	rt, err := NewRetransmitter(ch, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.disp.Register(ch, rt)
+	b.sw.Pipeline = switchsim.PipelineFunc(func(ctx *switchsim.Context) {
+		if !b.disp.Dispatch(ctx) {
+			ctx.Drop()
+		}
+	})
+	b.memNIC.Port().Peer().SetFaultInjector(&scriptedDrops{drop: map[int]bool{2: true}})
+	b.memNIC.Port().SetFaultInjector(&ackDropper{n: 2})
+	for i := 0; i < 4; i++ {
+		rt.FetchAdd(0, 1)
+	}
+	b.net.Engine.Run()
+	if rt.NaksSeen != 1 {
+		t.Fatalf("naks seen = %d, want 1", rt.NaksSeen)
+	}
+	if rt.Retransmits != 2 {
+		t.Fatalf("retransmits = %d, want 2 (NAK at 2 implicitly acks 0..1)", rt.Retransmits)
+	}
+	if rt.Unacked() != 0 {
+		t.Fatalf("unacked = %d after drain", rt.Unacked())
+	}
+	if v, _ := b.memNIC.ReadCounter(ch.RKey, ch.Base); v != 4 {
+		t.Fatalf("counter = %d, want 4", v)
+	}
+}
+
+// jitterSpikes delays every frame by spike with probability rate — the E9d
+// fault model, reimplemented locally so core does not depend on the faults
+// package.
+type jitterSpikes struct {
+	rate  float64
+	spike sim.Duration
+}
+
+func (j *jitterSpikes) Transmit(_ sim.Time, rng *rand.Rand, _ []byte) (bool, sim.Duration) {
+	if rng.Float64() < j.rate {
+		return false, j.spike
+	}
+	return false, 0
+}
+
+func TestAdaptiveRTOBeatsFixedUnderSpikes(t *testing.T) {
+	// Window 1 so the retransmit timer is the only recovery mechanism (a
+	// pipelined window would let the NIC's NAK path recover delayed frames
+	// at RTT timescale and mask the RTO policy entirely).
+	run := func(adaptive bool) (retransmits int64, v uint64) {
+		b := newBed(t, 1, switchsim.Config{}, rnic.Config{})
+		ch := b.establish(t, 4096, rnic.PSNStrict, true)
+		rt, err := NewRetransmitter(ch, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adaptive {
+			rt.EnableAdaptiveRTO()
+		}
+		b.disp.Register(ch, rt)
+		b.sw.Pipeline = switchsim.PipelineFunc(func(ctx *switchsim.Context) {
+			if !b.disp.Dispatch(ctx) {
+				ctx.Drop()
+			}
+		})
+		b.memNIC.Port().Peer().SetFaultInjector(&jitterSpikes{rate: 0.2, spike: sim.Millisecond})
+		const n = 100
+		issued := 0
+		b.net.Engine.Ticker(2*sim.Microsecond, func() bool {
+			for issued < n && rt.CanSend() {
+				rt.FetchAdd(0, 1)
+				issued++
+			}
+			return issued < n || rt.Unacked() > 0
+		})
+		b.net.Engine.Run()
+		v, _ = b.memNIC.ReadCounter(ch.RKey, ch.Base)
+		return rt.Retransmits, v
+	}
+	fixedRexmit, fixedV := run(false)
+	adaptiveRexmit, adaptiveV := run(true)
+	if fixedV != 100 || adaptiveV != 100 {
+		t.Fatalf("counts lost: fixed=%d adaptive=%d, want 100", fixedV, adaptiveV)
+	}
+	if fixedRexmit == 0 {
+		t.Fatal("spikes never triggered the fixed timer")
+	}
+	if adaptiveRexmit >= fixedRexmit {
+		t.Fatalf("adaptive RTO did not win: %d vs fixed %d retransmits",
+			adaptiveRexmit, fixedRexmit)
 	}
 }

@@ -71,6 +71,9 @@ type PacketBufferStats struct {
 	ReadRetries    int64 // READs re-issued after a timeout
 	StaleResponses int64 // responses that matched no outstanding READ
 	MaxDepth       int64 // peak ring occupancy in entries
+	// DegradedBypassed counts packets sent straight to the egress queue
+	// while the buffer was degraded (spilling suspended).
+	DegradedBypassed int64
 }
 
 // PacketBuffer is the packet-buffer primitive (§4): a ring buffer in remote
@@ -104,6 +107,11 @@ type PacketBuffer struct {
 	cursors *switchsim.RegisterArray // 0=tail 1=readNext 2=emitNext
 	detour  bool
 	paused  bool
+	// degraded suspends spilling: new packets take the direct path (falling
+	// back to plain tail-drop queueing) while already-stored entries keep
+	// draining. The ordering rule is knowingly violated — that is the
+	// degradation contract when remote memory is unreliable.
+	degraded bool
 
 	byQPN map[uint32]int // channel ID → index in chans
 
@@ -207,6 +215,14 @@ func (b *PacketBuffer) ResumeLoading() {
 	b.maybeLoad()
 }
 
+// SetDegraded suspends (true) or re-enables (false) spilling to the remote
+// ring. Stored entries continue to drain either way, so clearing degraded
+// mode needs no reconcile step.
+func (b *PacketBuffer) SetDegraded(on bool) { b.degraded = on }
+
+// Degraded reports whether spilling is suspended.
+func (b *PacketBuffer) Degraded() bool { return b.degraded }
+
 func (b *PacketBuffer) channelOf(g uint64) (*Channel, int, int) {
 	c := int(g % uint64(len(b.chans)))
 	slot := int(g/uint64(len(b.chans))) % b.perChan
@@ -217,6 +233,11 @@ func (b *PacketBuffer) channelOf(g uint64) (*Channel, int, int) {
 // every packet destined to the protected port instead of Emit. It decides
 // between the direct path and the remote ring.
 func (b *PacketBuffer) Admit(ctx *switchsim.Context, frame []byte) {
+	if b.degraded {
+		b.Stats.DegradedBypassed++
+		ctx.Emit(b.OutPort, frame)
+		return
+	}
 	if !b.detour && ctx.QueueBytes(b.OutPort)+len(frame) <= b.cfg.HighWaterBytes {
 		b.Stats.Bypassed++
 		ctx.Emit(b.OutPort, frame)

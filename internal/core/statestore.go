@@ -52,6 +52,11 @@ type StateStoreStats struct {
 	Accumulated    int64 // updates absorbed into pending accumulators
 	DroppedUpdates int64 // updates lost because the pending table was full
 	TimedOut       int64 // FAAs declared lost by the outstanding tracker
+	// DegradedUpdates counts updates absorbed while the store was degraded
+	// (accumulating locally, no remote traffic).
+	DegradedUpdates int64
+	// Reconciles counts degraded→normal transitions that flushed the backlog.
+	Reconciles int64
 }
 
 // StateStore is the state-store primitive (§4): per-flow counters in remote
@@ -63,6 +68,17 @@ type StateStore struct {
 	ch  *Channel
 	sw  *switchsim.Switch
 	cfg StateStoreConfig
+
+	// rt, when set, carries every FAA through the Retransmitter instead of
+	// the bare channel: loss recovery moves to the retransmit window, so the
+	// lossy-path timeout reaper is disabled (nothing is ever "lost", only
+	// late). Wire responses as failover → rt → store.
+	rt *Retransmitter
+
+	// degraded pauses the flush path: updates accumulate on the switch until
+	// Reconcile. This is the store's explicit failure posture while its
+	// server is known-dead and no standby remains.
+	degraded bool
 
 	outstanding int
 	inflight    []faaRecord // FIFO of unanswered FAAs
@@ -121,6 +137,32 @@ func (s *StateStore) Rebind(ch *Channel) {
 	s.flush()
 }
 
+// SetRetransmitter routes all future FAAs through rt (reliable mode). The
+// caller is responsible for the response chain reaching rt before the store
+// (rt.Inner = store) and for retargeting rt on failover.
+func (s *StateStore) SetRetransmitter(rt *Retransmitter) { s.rt = rt }
+
+// SetDegraded pauses (true) or re-enables (false) remote flushing; prefer
+// Reconcile for the re-enable edge, which also kicks the backlog out.
+func (s *StateStore) SetDegraded(on bool) { s.degraded = on }
+
+// Degraded reports whether the store is accumulating locally only.
+func (s *StateStore) Degraded() bool { return s.degraded }
+
+// Reconcile ends a degraded interval: the backlog accumulated on the switch
+// flushes to remote memory as outstanding slots allow.
+func (s *StateStore) Reconcile() {
+	if !s.degraded {
+		return
+	}
+	s.degraded = false
+	s.Stats.Reconciles++
+	if s.rt == nil {
+		s.reapTimeouts()
+	}
+	s.flush()
+}
+
 // Outstanding reports in-flight FAA requests.
 func (s *StateStore) Outstanding() int { return s.outstanding }
 
@@ -145,7 +187,14 @@ func (s *StateStore) Update(idx int, delta uint64) {
 		panic(fmt.Sprintf("core: counter index %d out of range", idx))
 	}
 	s.Stats.Updates += int64(delta)
-	s.reapTimeouts()
+	if s.degraded {
+		s.Stats.DegradedUpdates += int64(delta)
+		s.accumulate(idx, delta)
+		return
+	}
+	if s.rt == nil {
+		s.reapTimeouts()
+	}
 	s.accumulate(idx, delta)
 	s.flush()
 }
@@ -166,6 +215,9 @@ func (s *StateStore) accumulate(idx int, delta uint64) {
 // flush issues FAAs for dirty counters while outstanding slots remain and
 // batch thresholds are met.
 func (s *StateStore) flush() {
+	if s.degraded {
+		return
+	}
 	for s.outstanding < s.cfg.MaxOutstanding && len(s.dirty) > 0 {
 		idx := s.dirty[0]
 		delta := s.pending[idx]
@@ -182,9 +234,18 @@ func (s *StateStore) flush() {
 			// busy; wait for more updates or a free pipeline.
 			return
 		}
-		psn, ok := s.ch.FetchAdd(s.CounterOffset(idx), delta)
-		if !ok {
-			return // memory-link egress full; retry on next event
+		var psn uint32
+		if s.rt != nil {
+			if !s.rt.CanSend() {
+				return // retransmit window full; an ACK will retrigger
+			}
+			psn = s.rt.FetchAdd(s.CounterOffset(idx), delta)
+		} else {
+			var ok bool
+			psn, ok = s.ch.FetchAdd(s.CounterOffset(idx), delta)
+			if !ok {
+				return // memory-link egress full; retry on next event
+			}
 		}
 		s.dirty = s.dirty[1:]
 		delete(s.pending, idx)

@@ -1,0 +1,11 @@
+package faults
+
+import (
+	"testing"
+
+	"gem/internal/wire/pooltest"
+)
+
+// TestMain audits wire.DefaultPool after the run: a test that leaks a
+// pooled frame fails the whole binary (see pooltest).
+func TestMain(m *testing.M) { pooltest.Main(m) }

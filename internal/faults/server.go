@@ -1,0 +1,95 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"gem/internal/sim"
+)
+
+// Server is the slice of the rnic.NIC surface the scheduler drives: crash
+// (go silent), restart (resume, DRAM intact), and slow mode (execution
+// takes a factor longer — a server that is sick, not dead, the harder case
+// for timeout-based detection).
+type Server interface {
+	Fail()
+	Recover()
+	Slow(factor float64)
+}
+
+// ServerEventKind enumerates scheduled server-fault transitions.
+type ServerEventKind int
+
+const (
+	// ServerCrash makes the server drop everything from At on.
+	ServerCrash ServerEventKind = iota
+	// ServerRestart brings a crashed server back (memory intact).
+	ServerRestart
+	// ServerSlow multiplies the server's execution time by Factor.
+	ServerSlow
+	// ServerRestore ends slow mode (factor back to 1).
+	ServerRestore
+)
+
+func (k ServerEventKind) String() string {
+	switch k {
+	case ServerCrash:
+		return "crash"
+	case ServerRestart:
+		return "restart"
+	case ServerSlow:
+		return "slow"
+	case ServerRestore:
+		return "restore"
+	}
+	return fmt.Sprintf("ServerEventKind(%d)", int(k))
+}
+
+// ServerEvent is one scheduled transition.
+type ServerEvent struct {
+	At   sim.Time
+	Kind ServerEventKind
+	// Factor is the slowdown multiplier for ServerSlow (ignored otherwise).
+	Factor float64
+}
+
+// ServerSchedule drives a deterministic fault script against one server.
+type ServerSchedule struct {
+	Server Server
+	Events []ServerEvent
+
+	// Applied counts events that have fired.
+	Applied int64
+}
+
+// CrashRestart is the common one-cycle script: dead during [crash, restart).
+func CrashRestart(srv Server, crash, restart sim.Time) *ServerSchedule {
+	return &ServerSchedule{Server: srv, Events: []ServerEvent{
+		{At: crash, Kind: ServerCrash},
+		{At: restart, Kind: ServerRestart},
+	}}
+}
+
+// Install schedules every event on the engine. Events are applied in time
+// order regardless of the order they were listed in.
+func (s *ServerSchedule) Install(e *sim.Engine) {
+	evs := make([]ServerEvent, len(s.Events))
+	copy(evs, s.Events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	for _, ev := range evs {
+		ev := ev
+		e.ScheduleAt(ev.At, func() {
+			s.Applied++
+			switch ev.Kind {
+			case ServerCrash:
+				s.Server.Fail()
+			case ServerRestart:
+				s.Server.Recover()
+			case ServerSlow:
+				s.Server.Slow(ev.Factor)
+			case ServerRestore:
+				s.Server.Slow(1)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gem/internal/sim"
+	"gem/internal/wire"
 )
 
 // The harness tests assert the *shapes* the paper reports — who wins, by
@@ -287,5 +288,60 @@ func TestE8fShape(t *testing.T) {
 	// Only in-flight ops may vanish: a small constant, not a rate.
 	if res.LostInFlight > 64 {
 		t.Fatalf("lost %d updates across failover", res.LostInFlight)
+	}
+}
+
+// TestE9 runs the chaos experiment for three seeds, twice each: every
+// invariant must hold and the two runs of a seed must produce identical
+// results (the fault models draw only from the engine's seeded RNG).
+// Frame-pool balance is checked explicitly because the chaos scenarios
+// retain, retransmit, and retarget master copies across simulated failures.
+func TestE9(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		before := wire.DefaultPool.Stats().Balance()
+		cfg := DefaultE9Config()
+		cfg.Seed = seed
+		_, first := RunE9(cfg)
+		_, second := RunE9(cfg)
+		if first != second {
+			t.Fatalf("seed %d not reproducible:\n first %+v\nsecond %+v", seed, first, second)
+		}
+		if !first.AExact {
+			t.Errorf("seed %d: E9a counter drifted: %d remote + %d pending != %d updates",
+				seed, first.ARemote, first.APending, first.AUpdates)
+		}
+		if first.ARetransmits == 0 || first.ADrops == 0 || first.ABadICRC == 0 {
+			t.Errorf("seed %d: E9a faults not exercised: %d rexmit %d drops %d badICRC",
+				seed, first.ARetransmits, first.ADrops, first.ABadICRC)
+		}
+		if !first.BNoLoss {
+			t.Errorf("seed %d: E9b lost updates: primary=%d standby=%d pending=%d",
+				seed, first.BOnPrimary, first.BOnStandby, first.BPending)
+		}
+		if first.BFailovers != 1 || first.BFailbacks != 1 {
+			t.Errorf("seed %d: E9b switchovers: %d failovers, %d failbacks",
+				seed, first.BFailovers, first.BFailbacks)
+		}
+		if !first.CExact {
+			t.Errorf("seed %d: E9c counter drifted through the flap", seed)
+		}
+		if first.CDegradedMisses == 0 || first.CDegradedUpdates == 0 || first.CDegradedBypassed == 0 {
+			t.Errorf("seed %d: E9c degraded modes idle: lookup=%d store=%d buffer=%d",
+				seed, first.CDegradedMisses, first.CDegradedUpdates, first.CDegradedBypassed)
+		}
+		if !first.DFixedExact || !first.DAdaptiveExact {
+			t.Errorf("seed %d: E9d lost counts (fixed=%v adaptive=%v)",
+				seed, first.DFixedExact, first.DAdaptiveExact)
+		}
+		if !first.DAdaptiveWins {
+			t.Errorf("seed %d: adaptive RTO did not beat fixed: %d vs %d retransmits",
+				seed, first.DAdaptiveRetransmits, first.DFixedRetransmits)
+		}
+		if first.PendingEvents != 0 {
+			t.Errorf("seed %d: event queue not quiescent: %d pending", seed, first.PendingEvents)
+		}
+		if after := wire.DefaultPool.Stats().Balance(); after != before {
+			t.Errorf("seed %d: frame pool unbalanced: %d before, %d after", seed, before, after)
+		}
 	}
 }

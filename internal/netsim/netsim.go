@@ -9,6 +9,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 
 	"gem/internal/fifo"
 	"gem/internal/sim"
@@ -46,6 +47,20 @@ type LinkConfig struct {
 // TxQueueFrames zero.
 const DefaultTxQueue = 4096
 
+// FaultInjector intercepts frames on one direction of a link, at the moment
+// serialization completes (the same point the built-in LossRate applies).
+// Implementations may drop a frame, delay its delivery beyond the configured
+// propagation, or mutate its bytes in place (bit corruption — the receiver's
+// ICRC/decode path then rejects it). The injector never takes ownership of
+// the frame buffer: a dropped frame is recycled by the port.
+//
+// rng is the engine's seeded source, so an injector that draws from it keeps
+// the run byte-identically reproducible. See internal/faults for the
+// standard models.
+type FaultInjector interface {
+	Transmit(now sim.Time, rng *rand.Rand, frame []byte) (drop bool, extraDelay sim.Duration)
+}
+
 // Link40G returns the testbed's standard link: 40 Gbps, 250 ns propagation
 // (a few meters of fiber plus PHY latency inside one rack).
 func Link40G() LinkConfig {
@@ -62,15 +77,23 @@ type Port struct {
 
 	busy    bool
 	txQueue fifo.Queue[[]byte]
+	faults  FaultInjector
 
 	// TxMeter and RxMeter count wire bytes including framing overhead.
 	TxMeter stats.Meter
 	RxMeter stats.Meter
 	// TxDrops counts frames dropped at a full transmit FIFO; LossDrops
-	// counts frames lost to the link's configured LossRate.
-	TxDrops   int64
-	LossDrops int64
+	// counts frames lost to the link's configured LossRate; FaultDrops
+	// counts frames dropped by an installed FaultInjector.
+	TxDrops    int64
+	LossDrops  int64
+	FaultDrops int64
 }
+
+// SetFaultInjector installs (or, with nil, removes) a fault injector on this
+// port's transmit direction. Each direction of a link is injected
+// independently; install on both ports for a symmetric fault model.
+func (p *Port) SetFaultInjector(f FaultInjector) { p.faults = f }
 
 // Device returns the device that owns the port.
 func (p *Port) Device() Device { return p.dev }
@@ -131,11 +154,22 @@ func (p *Port) transmit(frame []byte) {
 	peer := p.peer
 	// Frame fully on the wire after txTime; arrives after propagation.
 	p.net.Engine.Schedule(txTime, func() {
-		if p.cfg.LossRate > 0 && p.net.Engine.Rand().Float64() < p.cfg.LossRate {
+		drop := false
+		var extra sim.Duration
+		if p.faults != nil {
+			drop, extra = p.faults.Transmit(p.net.Engine.Now(), p.net.Engine.Rand(), frame)
+			if drop {
+				p.FaultDrops++
+			}
+		}
+		if !drop && p.cfg.LossRate > 0 && p.net.Engine.Rand().Float64() < p.cfg.LossRate {
 			p.LossDrops++
+			drop = true
+		}
+		if drop {
 			wire.DefaultPool.Put(frame)
 		} else {
-			p.net.Engine.Schedule(p.cfg.Propagation, func() {
+			p.net.Engine.Schedule(p.cfg.Propagation+extra, func() {
 				peer.RxMeter.Record(len(frame) + wire.EthernetFramingOverhead)
 				peer.dev.Receive(peer, frame)
 			})

@@ -122,6 +122,11 @@ type NIC struct {
 	// in Stats.DroppedWhileFailed, nothing processed, nothing sent).
 	failed bool
 
+	// slowFactor > 1 stretches execution occupancy and response latency —
+	// a sick-but-alive server (thermal throttling, a noisy neighbour on the
+	// PCIe root). 0 or 1 means full speed.
+	slowFactor float64
+
 	// Requester side (nil unless the host posts verbs); see requester.go.
 	req *Requester
 
@@ -188,6 +193,20 @@ func (n *NIC) Recover() { n.failed = false }
 
 // Failed reports whether the NIC is in the crashed state.
 func (n *NIC) Failed() bool { return n.failed }
+
+// Slow puts the NIC into a degraded mode where every operation's execution
+// occupancy and response latency take factor times longer (factor <= 1
+// restores full speed). Unlike Fail, a slow server still answers — late —
+// which is the harder case for timeout-based failure detection.
+func (n *NIC) Slow(factor float64) { n.slowFactor = factor }
+
+// SlowFactor returns the current slowdown multiplier (>= 1).
+func (n *NIC) SlowFactor() float64 {
+	if n.slowFactor > 1 {
+		return n.slowFactor
+	}
+	return 1
+}
 
 // Receive implements netsim.Device. The NIC is the terminal consumer of
 // every RoCE frame it accepts: the frame buffer is recycled before Receive
@@ -408,6 +427,9 @@ func (n *NIC) executeNext(writeSide bool) {
 	case opc.IsAtomic():
 		occupancy = sim.Duration(1e9 / n.Cfg.AtomicOpsPerSec)
 	}
+	if f := n.SlowFactor(); f > 1 {
+		occupancy = sim.Duration(float64(occupancy) * f)
+	}
 	n.updatePFC()
 	n.engine.Schedule(occupancy, func() {
 		// The memory effect commits when the DMA finishes (end of
@@ -565,7 +587,11 @@ func (n *NIC) scheduleResponse(qp *QP, frame []byte) {
 	n.Stats.ResponsesSent++
 	// ProcessingDelay models the NIC's response-path latency (pipelined:
 	// it delays each response without occupying the execution engine).
-	n.engine.Schedule(n.Cfg.ProcessingDelay, func() {
+	delay := n.Cfg.ProcessingDelay
+	if f := n.SlowFactor(); f > 1 {
+		delay = sim.Duration(float64(delay) * f)
+	}
+	n.engine.Schedule(delay, func() {
 		if n.failed {
 			wire.DefaultPool.Put(frame) // crashed mid-flight: never sent
 			return
