@@ -5,6 +5,7 @@
 //
 //	gem-bench             # run everything at full settings
 //	gem-bench -run E2,E3  # run a subset
+//	gem-bench -run E10 -snapshot BENCH_PR4.json  # overload run + counters
 //	gem-bench -quick      # reduced settings (seconds, for smoke tests)
 //	gem-bench -parallel 4 # fan experiments across 4 workers
 //
@@ -15,6 +16,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,15 +31,22 @@ import (
 
 func main() {
 	runList := flag.String("run", "all",
-		"comma-separated experiment ids (E1..E7, E8a..E8f, E9) or 'all'")
+		"comma-separated experiment ids (E1..E7, E8a..E8f, E9, E10) or 'all'")
 	quick := flag.Bool("quick", false, "reduced parameters for a fast smoke run")
+	snapshot := flag.String("snapshot", "",
+		"write the E10 run's aggregated robustness counters as JSON to this file")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"number of experiments to run concurrently")
 	flag.Parse()
 
+	var (
+		e10Mu  sync.Mutex
+		e10Res *harness.E10Result
+	)
+
 	want := map[string]bool{}
 	if *runList == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8A", "E8B", "E8C", "E8D", "E8E", "E8F", "E9"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8A", "E8B", "E8C", "E8D", "E8E", "E8F", "E9", "E10"} {
 			want[id] = true
 		}
 	} else {
@@ -158,10 +167,17 @@ func main() {
 			t, _ := harness.RunE8f(cfg)
 			return t
 		}},
-		// E9 is already a short run (four microsecond-scale scenarios);
+		// E9 and E10 are already short runs (microsecond-scale scenarios);
 		// -quick changes nothing.
 		{"E9", func() *harness.Table {
 			t, _ := harness.RunE9(harness.DefaultE9Config())
+			return t
+		}},
+		{"E10", func() *harness.Table {
+			t, res := harness.RunE10(harness.DefaultE10Config())
+			e10Mu.Lock()
+			e10Res = &res
+			e10Mu.Unlock()
 			return t
 		}},
 	}
@@ -224,4 +240,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.id, r.elapsed.Round(time.Millisecond))
 	}
 	wg.Wait()
+
+	if *snapshot != "" {
+		if e10Res == nil {
+			fmt.Fprintln(os.Stderr, "-snapshot requires E10 in the run set")
+			os.Exit(2)
+		}
+		doc := struct {
+			GeneratedAt string
+			E10         harness.E10Result
+		}{GeneratedAt: time.Now().UTC().Format(time.RFC3339), E10: *e10Res}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*snapshot, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[snapshot written to %s]\n", *snapshot)
+	}
 }

@@ -43,6 +43,12 @@ var frameownScope = []string{
 	"gem/internal/faults",
 }
 
+// rootPackage is the facade package, matched exactly — listing "gem" in a
+// prefix scope would cover the whole module. Its pressure/allocator layer
+// sits on the frame path (Testbed.SendFrame) and feeds gem-bench's
+// byte-identical reproducibility check, so both contracts apply.
+const rootPackage = "gem"
+
 // hotallocScope are the designated allocation-free hot-path packages.
 var hotallocScope = []string{
 	"gem/internal/wire", "gem/internal/switchsim", "gem/internal/rnic",
@@ -71,10 +77,11 @@ func analyzersFor(pkgPath string) []*analysis.Analyzer {
 		pkgPath = pkgPath[:i]
 	}
 	var as []*analysis.Analyzer
-	if inScope(pkgPath, frameownScope) {
+	if pkgPath == rootPackage || inScope(pkgPath, frameownScope) {
 		as = append(as, frameown.Analyzer)
 	}
-	if strings.HasPrefix(pkgPath, "gem/internal/") && !inScope(pkgPath, nodeterminismExempt) {
+	if pkgPath == rootPackage ||
+		strings.HasPrefix(pkgPath, "gem/internal/") && !inScope(pkgPath, nodeterminismExempt) {
 		as = append(as, nodeterminism.Analyzer)
 	}
 	if inScope(pkgPath, hotallocScope) {

@@ -172,6 +172,14 @@ type Testbed struct {
 	// namespaces, so with several memory servers they collide — a lookup by
 	// RKey alone can land on the wrong server's DRAM.
 	chanNIC map[uint32]*rnic.NIC
+
+	// chans lists every channel Establish created, in creation order, for
+	// testbed-wide introspection (Stats).
+	chans []*core.Channel
+
+	// monitor, when installed via SetPressureMonitor, feeds remote-memory
+	// occupancy tiers into Stats.
+	monitor *PressureMonitor
 }
 
 // New builds and wires a testbed.
@@ -265,6 +273,7 @@ func (tb *Testbed) Establish(mem int, spec ChannelSpec) (*core.Channel, error) {
 		tb.chanNIC = make(map[uint32]*rnic.NIC)
 	}
 	tb.chanNIC[ch.ID] = tb.MemNICs[mem]
+	tb.chans = append(tb.chans, ch)
 	return ch, nil
 }
 

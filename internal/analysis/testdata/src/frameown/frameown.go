@@ -113,3 +113,38 @@ func cleanEscape(deliver func([]byte)) {
 	buf := pool.Get(64)
 	deliver(buf)
 }
+
+// --- priority load-shedding paths (overload robustness) ---
+
+// shedLeak models a shed path that refuses a low-priority frame but
+// forgets to recycle it: every shed would leak one pooled buffer.
+func shedLeak(lowPrio bool) {
+	buf := pool.Get(64)
+	if lowPrio {
+		return // want "owned frame \"buf\" leaks"
+	}
+	sink(buf)
+}
+
+// shedDoubleRelease recycles the shed frame and then still hands it to the
+// fabric: the frame is released twice on the shed path.
+func shedDoubleRelease(lowPrio bool) {
+	buf := pool.Get(64)
+	if lowPrio {
+		pool.Put(buf)
+		sink(buf) // want "released or transferred twice"
+		return
+	}
+	sink(buf)
+}
+
+// cleanShed is the contract: a shed frame is released exactly once and
+// never touched again; an admitted frame transfers exactly once.
+func cleanShed(lowPrio bool) {
+	buf := pool.Get(64)
+	if lowPrio {
+		pool.Put(buf)
+		return
+	}
+	sink(buf)
+}

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 
 	"gem/internal/sim"
 	"gem/internal/stats"
@@ -61,7 +62,16 @@ type Channel struct {
 	// available for §4's overhead comparison and legacy fabrics).
 	Version wire.RoCEVersion
 
+	// WindowHint is the responder's advertised outstanding-operations
+	// capacity, negotiated at Establish time (like IB responder resources).
+	// Primitives whose config leaves the window unset default to it.
+	WindowHint int
+
 	psn *switchsim.RegisterArray
+
+	// credits is the channel's per-QP admission window, installed lazily by
+	// the first primitive that needs one (EnsureCredits).
+	credits *Credits
 
 	// cap, when set, rate-limits the channel's request traffic — §7:
 	// "use a bandwidth cap to prevent RDMA packets taking too much
@@ -124,6 +134,24 @@ func newChannel(sw *switchsim.Switch, id uint32, port int) (*Channel, error) {
 		return nil, err
 	}
 	return &Channel{sw: sw, ID: id, Port: port, psn: psn}, nil
+}
+
+// Credits returns the channel's admission window (nil until a primitive
+// installs one via EnsureCredits).
+func (c *Channel) Credits() *Credits { return c.credits }
+
+// EnsureCredits returns the channel's admission window, creating it from cfg
+// if absent. The first caller's configuration wins: the window models the
+// QP's responder resources, which are a property of the channel, not of the
+// primitive using it.
+func (c *Channel) EnsureCredits(cfg CreditConfig) *Credits {
+	if c.credits == nil {
+		if cfg.Window <= 0 && c.WindowHint > 0 {
+			cfg.Window = c.WindowHint
+		}
+		c.credits = NewCredits(cfg)
+	}
+	return c.credits
 }
 
 // NextPSN consumes n packet sequence numbers and returns the first.
@@ -226,6 +254,9 @@ type ResponseHandler interface {
 // first and fall through to their own logic when it returns false.
 type Dispatcher struct {
 	handlers map[uint32]ResponseHandler
+	// ordered holds every distinct handler in first-registration order, so
+	// introspection (gem.Stats) walks a deterministic list, never map order.
+	ordered []ResponseHandler
 	// Unclaimed counts RoCE responses with no registered handler.
 	Unclaimed int64
 }
@@ -235,10 +266,30 @@ func NewDispatcher() *Dispatcher {
 	return &Dispatcher{handlers: make(map[uint32]ResponseHandler)}
 }
 
+// sameHandler compares two handlers without panicking on uncomparable
+// dynamic types (function adapters register as distinct every time).
+func sameHandler(a, b ResponseHandler) bool {
+	ta := reflect.TypeOf(a)
+	if ta != reflect.TypeOf(b) || !ta.Comparable() {
+		return false
+	}
+	return a == b
+}
+
 // Register binds channel ch's responses to h.
 func (d *Dispatcher) Register(ch *Channel, h ResponseHandler) {
 	d.handlers[ch.ID] = h
+	for _, have := range d.ordered {
+		if sameHandler(have, h) {
+			return
+		}
+	}
+	d.ordered = append(d.ordered, h)
 }
+
+// Handlers returns every distinct registered handler in first-registration
+// order (a handler registered for several channels appears once).
+func (d *Dispatcher) Handlers() []ResponseHandler { return d.ordered }
 
 // Dispatch consumes pkt if it is a RoCE response owned by a registered
 // handler. It returns true when the packet was consumed.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gem/internal/rnic"
+	"gem/internal/sim"
 	"gem/internal/switchsim"
 	"gem/internal/wire"
 )
@@ -61,6 +62,19 @@ type LookupConfig struct {
 	Mode LookupMode
 	// MaxRecircPasses bounds recirculation in LookupRecirculate mode.
 	MaxRecircPasses int
+	// MaxOutstandingMisses, when positive, caps in-flight remote lookups
+	// with a credit window on the channel. Misses refused by a full window
+	// are shed (PriorityLow) or resolved via SlowPath (PriorityHigh). 0 =
+	// unbounded, the paper's original stateless behaviour.
+	MaxOutstandingMisses int
+	// MissLowWatermark is the window's gate-release point (see Credits).
+	MissLowWatermark int
+	// MissTimeout declares an unanswered remote lookup lost, releasing its
+	// credit. Zero = 500 µs.
+	MissTimeout sim.Duration
+	// UnlimitedWindow keeps the credit accounting but never refuses — the
+	// test-only unbounded-growth ablation.
+	UnlimitedWindow bool
 }
 
 func (c *LookupConfig) fillDefaults() {
@@ -69,6 +83,9 @@ func (c *LookupConfig) fillDefaults() {
 	}
 	if c.MaxRecircPasses == 0 {
 		c.MaxRecircPasses = 8
+	}
+	if c.MissTimeout == 0 {
+		c.MissTimeout = 500 * sim.Microsecond
 	}
 }
 
@@ -92,6 +109,17 @@ type LookupStats struct {
 	// DegradedMisses counts cache misses handled while the table was
 	// degraded (resolved by SlowPath or dropped) instead of going remote.
 	DegradedMisses int64
+	// ShedMisses counts PriorityLow misses dropped because the miss window
+	// was full (never silent: the drop is a conscious admission decision).
+	ShedMisses int64
+	// CreditFallbacks counts PriorityHigh misses that could not go remote
+	// (window full) and were resolved via SlowPath or dropped.
+	CreditFallbacks int64
+	// MissTimeouts counts remote lookups declared lost by the miss reaper.
+	MissTimeouts int64
+	// DegradedEntries / DegradedExits count SetDegraded edges.
+	DegradedEntries int64
+	DegradedExits   int64
 }
 
 // LookupTable is the lookup-table primitive (§4): a match-action table in
@@ -125,7 +153,22 @@ type LookupTable struct {
 	fetchIssued    map[int]bool
 	fetchPSN       map[uint32]int
 
+	// credits is the miss admission window (nil when MaxOutstandingMisses
+	// is 0). missFIFO/missPSN track in-flight remote lookups by request PSN
+	// so responses and the timeout reaper release credits exactly once.
+	credits       *Credits
+	pendingCredit bool // credit taken at admission, not yet bound to a PSN
+	missFIFO      []*missRec
+	missPSN       map[uint32]*missRec
+
 	Stats LookupStats
+}
+
+type missRec struct {
+	psn  uint32
+	idx  int
+	at   sim.Time
+	done bool
 }
 
 // NewLookupTable wires the primitive to channel ch. The channel's region
@@ -143,6 +186,13 @@ func NewLookupTable(ch *Channel, cfg LookupConfig) (*LookupTable, error) {
 		pendingActions: make(map[int]LookupAction),
 		fetchIssued:    make(map[int]bool),
 		fetchPSN:       make(map[uint32]int),
+		missPSN:        make(map[uint32]*missRec),
+	}
+	if cfg.MaxOutstandingMisses > 0 {
+		t.credits = ch.EnsureCredits(CreditConfig{
+			Window: cfg.MaxOutstandingMisses, Low: cfg.MissLowWatermark,
+			Unlimited: cfg.UnlimitedWindow,
+		})
 	}
 	t.Apply = t.ApplyDefault
 	if cfg.CacheEntries > 0 {
@@ -166,9 +216,19 @@ func (t *LookupTable) Channel() *Channel { return t.ch }
 // Cache exposes the local cache (nil when disabled).
 func (t *LookupTable) Cache() *switchsim.CacheTable[wire.FlowKey, LookupAction] { return t.cache }
 
+// Credits exposes the miss admission window (nil when disabled).
+func (t *LookupTable) Credits() *Credits { return t.credits }
+
 // SetDegraded switches the table between normal operation and the CPU
 // slow-path degraded mode (no remote traffic while degraded).
-func (t *LookupTable) SetDegraded(on bool) { t.degraded = on }
+func (t *LookupTable) SetDegraded(on bool) {
+	if on && !t.degraded {
+		t.Stats.DegradedEntries++
+	} else if !on && t.degraded {
+		t.Stats.DegradedExits++
+	}
+	t.degraded = on
+}
 
 // Degraded reports whether the table is in degraded mode.
 func (t *LookupTable) Degraded() bool { return t.degraded }
@@ -176,7 +236,15 @@ func (t *LookupTable) Degraded() bool { return t.degraded }
 // Lookup is the data-plane action: resolve the action for frame (whose
 // parsed form is pkt) and apply it. Cache hits complete locally; misses go
 // to remote memory with zero switch-side packet storage (deposit mode).
+// Lookup is the high-priority path: it is never shed.
 func (t *LookupTable) Lookup(ctx *switchsim.Context, frame []byte, pkt *wire.Packet) {
+	t.LookupPrio(ctx, frame, pkt, switchsim.PriorityHigh)
+}
+
+// LookupPrio is Lookup with an admission priority. When the miss window is
+// full, PriorityLow misses are shed and PriorityHigh misses fall back to
+// the CPU slow path (or drop), so remote lookup load is bounded.
+func (t *LookupTable) LookupPrio(ctx *switchsim.Context, frame []byte, pkt *wire.Packet, prio switchsim.Priority) {
 	key := wire.FlowOf(pkt)
 	if t.cache != nil {
 		if action, ok := t.cache.Lookup(key); ok {
@@ -191,21 +259,26 @@ func (t *LookupTable) Lookup(ctx *switchsim.Context, frame []byte, pkt *wire.Pac
 		// so misses must not go remote. Resolve on the CPU slow path (and
 		// warm the cache so recovery is graceful) or drop.
 		t.Stats.DegradedMisses++
-		if t.SlowPath != nil {
-			if action, ok := t.SlowPath(key); ok {
-				if t.cache != nil {
-					t.cache.Put(key, action)
-				}
-				t.Stats.Applied++
-				t.Apply(ctx, frame, action)
-				return
-			}
-		}
-		ctx.Drop()
+		t.slowPathOrDrop(ctx, frame, key)
 		return
 	}
-	t.Stats.RemoteLookups++
 	idx := key.Index(t.cfg.Entries)
+	if t.credits != nil && t.needsMissRead(idx) {
+		t.reapMisses()
+		if !t.credits.TryAcquire() {
+			if prio == switchsim.PriorityLow {
+				t.Stats.ShedMisses++
+				ctx.DropFrame(frame)
+				return
+			}
+			t.Stats.CreditFallbacks++
+			t.slowPathOrDrop(ctx, frame, key)
+			return
+		}
+		// The issue site below binds this credit to the READ's PSN.
+		t.pendingCredit = true
+	}
+	t.Stats.RemoteLookups++
 	switch t.cfg.Mode {
 	case LookupDeposit:
 		t.depositAndFetch(ctx, frame, idx)
@@ -214,11 +287,112 @@ func (t *LookupTable) Lookup(ctx *switchsim.Context, frame []byte, pkt *wire.Pac
 	}
 }
 
+// slowPathOrDrop resolves a miss that must not go remote: via the CPU slow
+// path when available (warming the cache), dropping otherwise.
+func (t *LookupTable) slowPathOrDrop(ctx *switchsim.Context, frame []byte, key wire.FlowKey) {
+	if t.SlowPath != nil {
+		if action, ok := t.SlowPath(key); ok {
+			if t.cache != nil {
+				t.cache.Put(key, action)
+			}
+			t.Stats.Applied++
+			t.Apply(ctx, frame, action)
+			return
+		}
+	}
+	ctx.DropFrame(frame)
+}
+
+// needsMissRead reports whether resolving a miss on idx would issue a new
+// remote READ right now (deposit mode always does; recirculation only when
+// no action is pending and no fetch is already in flight).
+func (t *LookupTable) needsMissRead(idx int) bool {
+	if t.cfg.Mode == LookupRecirculate {
+		if _, ok := t.pendingActions[idx]; ok {
+			return false
+		}
+		return !t.fetchIssued[idx]
+	}
+	return true
+}
+
+// missAdmit consumes the credit LookupPrio acquired for this miss, or takes
+// one directly (recirculation continuations re-issuing after a reap). False
+// means no credit is available and the READ must not be issued.
+func (t *LookupTable) missAdmit() bool {
+	if t.credits == nil {
+		return true
+	}
+	if t.pendingCredit {
+		t.pendingCredit = false
+		return true
+	}
+	return t.credits.TryAcquire()
+}
+
+// dropPendingCredit returns an admission credit that never bound to a READ
+// (e.g. the miss turned out to be malformed).
+func (t *LookupTable) dropPendingCredit() {
+	if t.pendingCredit {
+		t.pendingCredit = false
+		t.credits.Release()
+	}
+}
+
+// trackMiss records an in-flight remote lookup so the response (or the
+// reaper) releases its credit exactly once.
+func (t *LookupTable) trackMiss(psn uint32, idx int) {
+	if t.credits == nil {
+		return
+	}
+	rec := &missRec{psn: psn, idx: idx, at: t.sw.Engine.Now()}
+	t.missFIFO = append(t.missFIFO, rec)
+	t.missPSN[psn] = rec
+}
+
+// releaseMiss frees the credit held by the in-flight lookup psn, if any.
+func (t *LookupTable) releaseMiss(psn uint32) {
+	rec, ok := t.missPSN[psn]
+	if !ok || rec.done {
+		return
+	}
+	rec.done = true
+	delete(t.missPSN, psn)
+	t.credits.Release()
+}
+
+// reapMisses releases credits whose lookups never answered (request or
+// response lost); recirculation fetches are cleared so a later pass can
+// re-issue them.
+func (t *LookupTable) reapMisses() {
+	now := t.sw.Engine.Now()
+	for len(t.missFIFO) > 0 {
+		rec := t.missFIFO[0]
+		if rec.done {
+			t.missFIFO = t.missFIFO[1:]
+			continue
+		}
+		if now.Sub(rec.at) <= t.cfg.MissTimeout {
+			return
+		}
+		t.missFIFO = t.missFIFO[1:]
+		rec.done = true
+		delete(t.missPSN, rec.psn)
+		t.credits.Release()
+		t.Stats.MissTimeouts++
+		if t.cfg.Mode == LookupRecirculate {
+			delete(t.fetchPSN, rec.psn)
+			delete(t.fetchIssued, rec.idx)
+		}
+	}
+}
+
 // depositAndFetch bounces the original packet through the remote entry:
 // WRITE it into the packet slot, then READ the whole {action, packet} entry.
 func (t *LookupTable) depositAndFetch(ctx *switchsim.Context, frame []byte, idx int) {
 	if len(frame) > t.cfg.MaxPktBytes {
 		t.Stats.BadEntries++
+		t.dropPendingCredit()
 		ctx.Drop()
 		return
 	}
@@ -234,7 +408,13 @@ func (t *LookupTable) depositAndFetch(ctx *switchsim.Context, frame []byte, idx 
 	t.Stats.Deposits++
 	n := t.cfg.EntrySize()
 	respPkts := uint32((n + t.ch.MTU - 1) / t.ch.MTU)
+	psn := t.ch.PSN()
 	t.ch.Read(base, n, respPkts)
+	if t.missAdmit() {
+		// If the READ was refused downstream (egress full), the reaper
+		// releases the credit after MissTimeout — self-healing either way.
+		t.trackMiss(psn, idx)
+	}
 	ctx.Drop() // original is gone: it lives in remote memory now
 }
 
@@ -252,12 +432,13 @@ func (t *LookupTable) recircFetch(ctx *switchsim.Context, frame []byte, idx, pas
 		ctx.Drop()
 		return
 	}
-	if !t.fetchIssued[idx] {
+	if !t.fetchIssued[idx] && t.missAdmit() {
 		t.fetchIssued[idx] = true
 		psn := t.ch.PSN()
 		base := idx * t.cfg.EntrySize()
 		t.ch.Read(base, 8, 1)
 		t.fetchPSN[psn] = idx
+		t.trackMiss(psn, idx)
 	}
 	t.Stats.RecircPasses++
 	t.sw.Stats.Recirculated++
@@ -287,6 +468,11 @@ func (t *LookupTable) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) {
 	if !pkt.BTH.Opcode.IsReadResponse() {
 		ctx.Drop() // ACKs ignored by the prototype
 		return
+	}
+	if t.credits != nil {
+		// First/Only response packets echo the request PSN; release the
+		// miss credit the moment the answer lands, well-formed or not.
+		t.releaseMiss(pkt.BTH.PSN)
 	}
 	payload := pkt.Payload
 	if len(payload) < 8 {

@@ -29,6 +29,27 @@ type PacketBufferConfig struct {
 	// ReadTimeout re-issues a READ whose response never arrived (READs
 	// are idempotent, so retry is always safe). Zero = 200 µs.
 	ReadTimeout sim.Duration
+	// PerChannelWindow caps in-flight READs per channel (the QP's responder
+	// resources), independent of the global MaxOutstandingReads. 0 =
+	// MaxOutstandingReads, which keeps the global limit binding.
+	PerChannelWindow int
+	// ReadLowWatermark is the per-channel window's gate-release point. 0 =
+	// PerChannelWindow-1 (no hysteresis gap).
+	ReadLowWatermark int
+	// SpillHighWaterBytes, when positive, gates spilling per memory
+	// channel: once the egress queue toward a channel's server exceeds it,
+	// new spills stop routing to the ring until the queue drains to
+	// SpillLowWaterBytes. Gated spills bypass (high priority) or shed (low
+	// priority) instead of piling onto a saturated memory link.
+	SpillHighWaterBytes int
+	SpillLowWaterBytes  int
+	// ShedRingEntries, when positive, sheds PriorityLow packets once ring
+	// occupancy reaches this many entries, reserving the remaining ring for
+	// PriorityHigh traffic. 0 = disabled.
+	ShedRingEntries int
+	// UnlimitedWindow disables per-channel credit refusal while keeping the
+	// accounting — the test-only unbounded-growth ablation.
+	UnlimitedWindow bool
 }
 
 // DefaultPacketBufferConfig returns the defaults used by the experiments.
@@ -59,6 +80,12 @@ func (c *PacketBufferConfig) fillDefaults() {
 	if c.ReadTimeout == 0 {
 		c.ReadTimeout = d.ReadTimeout
 	}
+	if c.PerChannelWindow == 0 {
+		c.PerChannelWindow = c.MaxOutstandingReads
+	}
+	if c.SpillLowWaterBytes == 0 {
+		c.SpillLowWaterBytes = c.SpillHighWaterBytes / 2
+	}
 }
 
 // PacketBufferStats are the primitive's observable counters.
@@ -74,6 +101,20 @@ type PacketBufferStats struct {
 	// DegradedBypassed counts packets sent straight to the egress queue
 	// while the buffer was degraded (spilling suspended).
 	DegradedBypassed int64
+	// ShedLowPrio counts PriorityLow packets dropped at admission because
+	// the ring crossed ShedRingEntries or the spill path was gated.
+	ShedLowPrio int64
+	// PressureBypassed counts PriorityHigh packets sent straight to the
+	// egress queue while spilling was gated — the ordering rule is knowingly
+	// violated to avoid losing exact traffic, and the violation is counted.
+	PressureBypassed int64
+	// SpillGateEntries / SpillGateExits count the per-channel spill gate's
+	// watermark transitions.
+	SpillGateEntries int64
+	SpillGateExits   int64
+	// DegradedEntries / DegradedExits count SetDegraded edges.
+	DegradedEntries int64
+	DegradedExits   int64
 }
 
 // PacketBuffer is the packet-buffer primitive (§4): a ring buffer in remote
@@ -114,6 +155,18 @@ type PacketBuffer struct {
 	degraded bool
 
 	byQPN map[uint32]int // channel ID → index in chans
+
+	// credits holds each channel's admission window (ch.EnsureCredits); one
+	// credit per in-flight READ on that channel.
+	credits []*Credits
+	// spillGated tracks the per-channel spill gate (SpillHighWaterBytes
+	// hysteresis on the memory-link egress queue).
+	spillGated []bool
+
+	// AdmitGate, when set, is an external veto consulted before spilling to
+	// a channel — the remote-memory pressure monitor hooks in here to stop
+	// new spills toward servers past their occupancy watermark.
+	AdmitGate func(chanIdx int) bool
 
 	// READ tracking: responses echo the request PSN, which correlates
 	// them back to ring entries and makes timeout retry safe.
@@ -176,10 +229,16 @@ func NewPacketBuffer(chans []*Channel, outPort int, cfg PacketBufferConfig) (*Pa
 		currentG:    make([]int64, len(chans)),
 		partial:     make([][]byte, len(chans)),
 		reorder:     make(map[uint64][]byte),
+		credits:     make([]*Credits, len(chans)),
+		spillGated:  make([]bool, len(chans)),
 	}
 	for i, ch := range chans {
 		b.byQPN[ch.ID] = i
 		b.currentG[i] = -1
+		b.credits[i] = ch.EnsureCredits(CreditConfig{
+			Window: cfg.PerChannelWindow, Low: cfg.ReadLowWatermark,
+			Unlimited: cfg.UnlimitedWindow,
+		})
 	}
 	return b, nil
 }
@@ -218,7 +277,14 @@ func (b *PacketBuffer) ResumeLoading() {
 // SetDegraded suspends (true) or re-enables (false) spilling to the remote
 // ring. Stored entries continue to drain either way, so clearing degraded
 // mode needs no reconcile step.
-func (b *PacketBuffer) SetDegraded(on bool) { b.degraded = on }
+func (b *PacketBuffer) SetDegraded(on bool) {
+	if on && !b.degraded {
+		b.Stats.DegradedEntries++
+	} else if !on && b.degraded {
+		b.Stats.DegradedExits++
+	}
+	b.degraded = on
+}
 
 // Degraded reports whether spilling is suspended.
 func (b *PacketBuffer) Degraded() bool { return b.degraded }
@@ -229,10 +295,61 @@ func (b *PacketBuffer) channelOf(g uint64) (*Channel, int, int) {
 	return b.chans[c], c, slot * b.cfg.EntrySize
 }
 
+// ChannelCredits exposes channel i's admission window for introspection.
+func (b *PacketBuffer) ChannelCredits(i int) *Credits { return b.credits[i] }
+
+// ChannelOccupancyBytes reports the bytes channel i's ring region currently
+// holds (stored, not yet forwarded) — the pressure monitor's gauge input.
+func (b *PacketBuffer) ChannelOccupancyBytes(i int) int64 {
+	n := uint64(len(b.chans))
+	// onChan(x) = number of entries g < x with g ≡ i (mod n).
+	onChan := func(x uint64) uint64 { return (x + n - 1 - uint64(i)) / n }
+	tail, emit := b.cursors.Get(regTail), b.cursors.Get(regEmitNext)
+	return int64(onChan(tail)-onChan(emit)) * int64(b.cfg.EntrySize)
+}
+
+// spillAllowed decides whether a packet of priority prio may route to the
+// remote ring right now, updating the per-channel spill gate's hysteresis
+// for the channel the next entry would land on.
+func (b *PacketBuffer) spillAllowed(prio switchsim.Priority) bool {
+	_, c, _ := b.channelOf(b.cursors.Get(regTail))
+	if b.cfg.SpillHighWaterBytes > 0 {
+		q := b.sw.QueueBytes(b.chans[c].Port)
+		if !b.spillGated[c] && q >= b.cfg.SpillHighWaterBytes {
+			b.spillGated[c] = true
+			b.Stats.SpillGateEntries++
+		} else if b.spillGated[c] && q <= b.cfg.SpillLowWaterBytes {
+			b.spillGated[c] = false
+			b.Stats.SpillGateExits++
+		}
+		if b.spillGated[c] {
+			return false
+		}
+	}
+	if b.AdmitGate != nil && !b.AdmitGate(c) {
+		return false
+	}
+	if prio == switchsim.PriorityLow && b.cfg.ShedRingEntries > 0 &&
+		b.Depth() >= b.cfg.ShedRingEntries {
+		return false
+	}
+	return true
+}
+
 // Admit is the data-plane action: the application pipeline calls it for
 // every packet destined to the protected port instead of Emit. It decides
-// between the direct path and the remote ring.
+// between the direct path and the remote ring. Admit is the high-priority
+// path: it never sheds.
 func (b *PacketBuffer) Admit(ctx *switchsim.Context, frame []byte) {
+	b.AdmitPrio(ctx, frame, switchsim.PriorityHigh)
+}
+
+// AdmitPrio is Admit with an admission priority. When the spill path is
+// gated — memory link saturated, remote region past its watermark, or the
+// ring past its low-priority reservation — PriorityHigh packets bypass to
+// the egress queue (ordering knowingly violated, counted in
+// PressureBypassed) and PriorityLow packets are shed (ShedLowPrio).
+func (b *PacketBuffer) AdmitPrio(ctx *switchsim.Context, frame []byte, prio switchsim.Priority) {
 	if b.degraded {
 		b.Stats.DegradedBypassed++
 		ctx.Emit(b.OutPort, frame)
@@ -241,6 +358,16 @@ func (b *PacketBuffer) Admit(ctx *switchsim.Context, frame []byte) {
 	if !b.detour && ctx.QueueBytes(b.OutPort)+len(frame) <= b.cfg.HighWaterBytes {
 		b.Stats.Bypassed++
 		ctx.Emit(b.OutPort, frame)
+		return
+	}
+	if !b.spillAllowed(prio) {
+		if prio == switchsim.PriorityHigh {
+			b.Stats.PressureBypassed++
+			ctx.Emit(b.OutPort, frame)
+		} else {
+			b.Stats.ShedLowPrio++
+			ctx.DropFrame(frame)
+		}
 		return
 	}
 	b.store(frame)
@@ -278,15 +405,23 @@ func (b *PacketBuffer) store(frame []byte) {
 	}
 }
 
-// issueRead sends the READ for entry g and tracks it.
+// issueRead sends the READ for entry g and tracks it. A first issue takes a
+// credit from the channel's window; retries reuse the credit their entry
+// already holds.
 func (b *PacketBuffer) issueRead(g uint64) bool {
 	ch, c, off := b.channelOf(g)
+	rec := b.outstanding[g]
+	if rec == nil && !b.credits[c].TryAcquire() {
+		return false
+	}
 	respPkts := uint32((b.cfg.EntrySize + ch.MTU - 1) / ch.MTU)
 	psn := ch.PSN()
 	if !ch.Read(off, b.cfg.EntrySize, respPkts) {
+		if rec == nil {
+			b.credits[c].Release()
+		}
 		return false
 	}
-	rec := b.outstanding[g]
 	if rec == nil {
 		rec = &outstandingRead{g: g, chanIdx: c}
 		b.outstanding[g] = rec
@@ -311,6 +446,9 @@ func (b *PacketBuffer) maybeLoad() {
 		len(b.outstanding) < b.cfg.MaxOutstandingReads &&
 		b.sw.QueueBytes(b.OutPort) < b.cfg.LowWaterBytes {
 		g := b.cursors.Get(regReadNext)
+		if !b.credits[int(g%uint64(len(b.chans)))].CanAcquire() {
+			return // channel window gated; responses will retrigger
+		}
 		if !b.issueRead(g) {
 			return // memory-link egress full; departures will retrigger
 		}
@@ -409,6 +547,7 @@ func (b *PacketBuffer) finishEntry(ctx *switchsim.Context, g uint64, entry []byt
 	}
 	delete(b.byPSN, psnKey{rec.chanIdx, rec.psn})
 	delete(b.outstanding, g)
+	b.credits[rec.chanIdx].Release()
 
 	var orig []byte
 	if len(entry) >= 2 {

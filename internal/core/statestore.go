@@ -15,8 +15,24 @@ type StateStoreConfig struct {
 	// MaxOutstanding caps in-flight Fetch-and-Add requests — "Since there
 	// is a maximum limit of outstanding RDMA atomic requests that an RNIC
 	// can handle, we design this primitive to maintain the number of
-	// outstanding requests" (§4).
+	// outstanding requests" (§4). 0 = the channel's negotiated WindowHint
+	// (the NIC's advertised responder resources), falling back to 16.
 	MaxOutstanding int
+	// LowWatermark is the credit window's gate-release point: once the
+	// window gates at MaxOutstanding, issuing resumes only after in-flight
+	// FAAs drain to this level. 0 = MaxOutstanding-1 (no hysteresis gap,
+	// the classic windowed behaviour).
+	LowWatermark int
+	// ShedPendingSlots, when positive, turns on priority load shedding: a
+	// PriorityLow update arriving while the pending table already holds
+	// this many accumulators is shed (counted in ShedUpdates) instead of
+	// admitted. High-priority updates are never shed, preserving their
+	// exactness guarantee. 0 = disabled.
+	ShedPendingSlots int
+	// UnlimitedWindow disables credit refusal while keeping the accounting
+	// — the test-only ablation that reproduces the unbounded-growth
+	// baseline of an uncontrolled requester.
+	UnlimitedWindow bool
 	// PendingSlots bounds the switch-side accumulation table used while
 	// the RNIC is saturated; updates beyond it are dropped and counted.
 	PendingSlots int
@@ -30,9 +46,8 @@ type StateStoreConfig struct {
 }
 
 func (c *StateStoreConfig) fillDefaults() {
-	if c.MaxOutstanding == 0 {
-		c.MaxOutstanding = 16
-	}
+	// MaxOutstanding deliberately has no default here: NewStateStore
+	// resolves 0 through the channel's WindowHint (see EnsureCredits).
 	if c.PendingSlots == 0 {
 		c.PendingSlots = 4096
 	}
@@ -57,6 +72,13 @@ type StateStoreStats struct {
 	DegradedUpdates int64
 	// Reconciles counts degraded→normal transitions that flushed the backlog.
 	Reconciles int64
+	// ShedUpdates counts PriorityLow updates refused at admission because
+	// the pending table crossed ShedPendingSlots (never silent loss).
+	ShedUpdates int64
+	// DegradedEntries / DegradedExits count transitions into and out of the
+	// degraded posture (SetDegraded edges plus Reconcile exits).
+	DegradedEntries int64
+	DegradedExits   int64
 }
 
 // StateStore is the state-store primitive (§4): per-flow counters in remote
@@ -80,8 +102,10 @@ type StateStore struct {
 	// server is known-dead and no standby remains.
 	degraded bool
 
-	outstanding int
-	inflight    []faaRecord // FIFO of unanswered FAAs
+	// credits is the channel's shared admission window (ch.EnsureCredits):
+	// one credit per in-flight FAA, replacing the old ad-hoc counter.
+	credits  *Credits
+	inflight []faaRecord // FIFO of unanswered FAAs
 
 	pending    map[int]uint64 // counter index → accumulated delta
 	dirty      []int          // FIFO of indexes with pending deltas
@@ -110,10 +134,18 @@ func NewStateStore(ch *Channel, cfg StateStoreConfig) (*StateStore, error) {
 	if err := ch.sw.SRAM.Alloc(fmt.Sprintf("statestore%d/pending", ch.ID), cfg.PendingSlots*16); err != nil {
 		return nil, err
 	}
-	return &StateStore{
+	s := &StateStore{
 		ch: ch, sw: ch.sw, cfg: cfg,
 		pending: make(map[int]uint64, cfg.PendingSlots),
-	}, nil
+	}
+	s.credits = ch.EnsureCredits(CreditConfig{
+		Window: cfg.MaxOutstanding, Low: cfg.LowWatermark,
+		Unlimited: cfg.UnlimitedWindow,
+	})
+	// Reflect the resolved window (WindowHint or credit default) back into
+	// the config so Config().MaxOutstanding reports the effective limit.
+	s.cfg.MaxOutstanding = s.credits.Config().Window
+	return s, nil
 }
 
 // Config returns the effective configuration.
@@ -131,9 +163,15 @@ func (s *StateStore) Rebind(ch *Channel) {
 	if need := s.cfg.Counters * 8; need > ch.Size {
 		panic(fmt.Sprintf("core: rebind target region too small: %d < %d", ch.Size, need))
 	}
-	s.ch = ch
+	// Abandoned in-flight FAAs return their credits to the old channel's
+	// window (nothing will ever answer them), then the store adopts the new
+	// channel's window, carrying its configuration across.
+	for range s.inflight {
+		s.credits.Release()
+	}
 	s.inflight = nil
-	s.outstanding = 0
+	s.ch = ch
+	s.credits = ch.EnsureCredits(s.credits.Config())
 	s.flush()
 }
 
@@ -144,7 +182,14 @@ func (s *StateStore) SetRetransmitter(rt *Retransmitter) { s.rt = rt }
 
 // SetDegraded pauses (true) or re-enables (false) remote flushing; prefer
 // Reconcile for the re-enable edge, which also kicks the backlog out.
-func (s *StateStore) SetDegraded(on bool) { s.degraded = on }
+func (s *StateStore) SetDegraded(on bool) {
+	if on && !s.degraded {
+		s.Stats.DegradedEntries++
+	} else if !on && s.degraded {
+		s.Stats.DegradedExits++
+	}
+	s.degraded = on
+}
 
 // Degraded reports whether the store is accumulating locally only.
 func (s *StateStore) Degraded() bool { return s.degraded }
@@ -157,6 +202,7 @@ func (s *StateStore) Reconcile() {
 	}
 	s.degraded = false
 	s.Stats.Reconciles++
+	s.Stats.DegradedExits++
 	if s.rt == nil {
 		s.reapTimeouts()
 	}
@@ -164,7 +210,14 @@ func (s *StateStore) Reconcile() {
 }
 
 // Outstanding reports in-flight FAA requests.
-func (s *StateStore) Outstanding() int { return s.outstanding }
+func (s *StateStore) Outstanding() int { return s.credits.Outstanding() }
+
+// Credits exposes the store's admission window for introspection.
+func (s *StateStore) Credits() *Credits { return s.credits }
+
+// Pending reports the delta accumulated on the switch for counter idx but
+// not yet flushed — exactness checks add it to the remote value.
+func (s *StateStore) Pending(idx int) uint64 { return s.pending[idx] }
 
 // PendingTotal reports updates accumulated on the switch but not yet
 // flushed to remote memory — the value accuracy checks add to the remote
@@ -181,10 +234,25 @@ func (s *StateStore) UpdateFlow(key wire.FlowKey) {
 
 // Update adds delta to counter idx, issuing a Fetch-and-Add immediately
 // when the RNIC has room (and the batch threshold is met), accumulating
-// locally otherwise.
+// locally otherwise. Update is the high-priority path: it is never shed.
 func (s *StateStore) Update(idx int, delta uint64) {
+	s.UpdatePrio(idx, delta, switchsim.PriorityHigh)
+}
+
+// UpdatePrio is Update with an admission priority. Under overload (pending
+// table at ShedPendingSlots or beyond), PriorityLow updates are shed and
+// counted; admitted updates keep the store's exactness guarantee.
+func (s *StateStore) UpdatePrio(idx int, delta uint64, prio switchsim.Priority) {
 	if idx < 0 || idx >= s.cfg.Counters {
 		panic(fmt.Sprintf("core: counter index %d out of range", idx))
+	}
+	if prio == switchsim.PriorityLow && s.cfg.ShedPendingSlots > 0 &&
+		len(s.pending) >= s.cfg.ShedPendingSlots {
+		// Shed before the update is observed: the counters below only ever
+		// account for admitted traffic, so "admitted == remote + pending"
+		// stays exact.
+		s.Stats.ShedUpdates += int64(delta)
+		return
 	}
 	s.Stats.Updates += int64(delta)
 	if s.degraded {
@@ -218,7 +286,7 @@ func (s *StateStore) flush() {
 	if s.degraded {
 		return
 	}
-	for s.outstanding < s.cfg.MaxOutstanding && len(s.dirty) > 0 {
+	for s.credits.CanAcquire() && len(s.dirty) > 0 {
 		idx := s.dirty[0]
 		delta := s.pending[idx]
 		if delta == 0 {
@@ -229,7 +297,7 @@ func (s *StateStore) flush() {
 			delete(s.pending, idx)
 			continue
 		}
-		if delta < s.cfg.Batch && s.outstanding > 0 {
+		if delta < s.cfg.Batch && s.credits.Outstanding() > 0 {
 			// Not enough accumulated to justify an op while the NIC is
 			// busy; wait for more updates or a free pipeline.
 			return
@@ -250,7 +318,7 @@ func (s *StateStore) flush() {
 		s.dirty = s.dirty[1:]
 		delete(s.pending, idx)
 		s.pendingSum -= delta
-		s.outstanding++
+		s.credits.Acquire()
 		s.inflight = append(s.inflight, faaRecord{psn: psn, sentAt: s.sw.Engine.Now()})
 		s.Stats.FAAIssued++
 	}
@@ -261,7 +329,7 @@ func (s *StateStore) reapTimeouts() {
 	now := s.sw.Engine.Now()
 	for len(s.inflight) > 0 && now.Sub(s.inflight[0].sentAt) > s.cfg.OutstandingTimeout {
 		s.inflight = s.inflight[1:]
-		s.outstanding--
+		s.credits.Release()
 		s.Stats.TimedOut++
 	}
 }
@@ -278,7 +346,7 @@ func (s *StateStore) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) {
 	// before the echoed PSN is answered or lost-and-answered-later).
 	for len(s.inflight) > 0 && !psnAfter24(s.inflight[0].psn, pkt.BTH.PSN) {
 		s.inflight = s.inflight[1:]
-		s.outstanding--
+		s.credits.Release()
 	}
 	s.flush()
 }

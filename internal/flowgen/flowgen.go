@@ -25,6 +25,9 @@ type CBR struct {
 	// FlowCount spreads traffic over this many UDP source ports (1 = a
 	// single flow).
 	FlowCount int
+	// DSCP, when nonzero, stamps every frame's IPv4 DSCP field (DSCP >= 32,
+	// e.g. 46/EF, classifies as high priority in the switch pipeline).
+	DSCP uint8
 	// Sent counts frames handed to the port.
 	Sent int64
 	// SendFails counts frames the port's FIFO refused.
@@ -53,6 +56,9 @@ func (c *CBR) Start(engine *sim.Engine, count int64) {
 		srcPort := uint16(1000 + c.rng.Intn(c.FlowCount))
 		f := wire.BuildDataFrameInto(wire.DefaultPool, c.Src.MAC, c.Dst.MAC, c.Src.IP, c.Dst.IP,
 			srcPort, 9999, c.FrameLen, nil)
+		if c.DSCP != 0 {
+			wire.SetDSCP(f, c.DSCP)
+		}
 		if c.Port.Send(f) {
 			c.Sent++
 		} else {

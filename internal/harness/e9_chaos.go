@@ -151,7 +151,7 @@ func e9a(cfg E9Config, res *E9Result) {
 	e9Dispatch(tb)
 
 	req := &faults.LinkFaults{
-		Loss:    faults.DefaultGilbertElliott(),
+		Loss: faults.DefaultGilbertElliott(),
 		// Several bits per event: single flips can land entirely in bytes the
 		// ICRC masks (Ethernet header, IP TTL/TOS/checksum) and go undetected
 		// on an unlucky seed, which is fine for safety but leaves the

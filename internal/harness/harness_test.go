@@ -345,3 +345,80 @@ func TestE9(t *testing.T) {
 		}
 	}
 }
+
+// TestE10 runs the overload experiment for three seeds, twice each. Pins:
+// credit windows bound outstanding work, per-server occupancy respects the
+// high watermark, high-priority traffic stays exact while low-priority shed
+// is nonzero under 2× overload, and the UnlimitedWindow ablation reproduces
+// the unbounded-growth baseline the windows exist to prevent.
+func TestE10(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		before := wire.DefaultPool.Stats().Balance()
+		cfg := DefaultE10Config()
+		cfg.Seed = seed
+		_, first := RunE10(cfg)
+		_, second := RunE10(cfg)
+		if first != second {
+			t.Fatalf("seed %d not reproducible:\n first %+v\nsecond %+v", seed, first, second)
+		}
+		for _, pt := range first.Incast {
+			if pt.PeakReads > 8 {
+				t.Errorf("seed %d incast %dx: outstanding READs %d exceed per-channel window 8",
+					seed, pt.Intensity, pt.PeakReads)
+			}
+			if pt.PeakFrac0 > 0.91 || pt.PeakFrac1 > 0.91 {
+				t.Errorf("seed %d incast %dx: occupancy %.3f/%.3f exceeded high watermark",
+					seed, pt.Intensity, pt.PeakFrac0, pt.PeakFrac1)
+			}
+			if pt.Intensity <= 2 && !pt.HighLossFree {
+				t.Errorf("seed %d incast %dx: high-priority loss: %d/%d delivered",
+					seed, pt.Intensity, pt.HighDelivered, pt.HighSent)
+			}
+			if pt.RingDrops != 0 {
+				t.Errorf("seed %d incast %dx: %d silent ring drops", seed, pt.Intensity, pt.RingDrops)
+			}
+		}
+		if first.Incast[1].ShedLow == 0 {
+			t.Errorf("seed %d: no low-priority shed at 2x overload", seed)
+		}
+		for _, pt := range first.Storm {
+			if !pt.HighExact {
+				t.Errorf("seed %d storm @%dns: high counters drifted: %d != %d remote + %d pending",
+					seed, pt.IntervalNs, pt.HighUpdates, pt.HighRemote, pt.HighPending)
+			}
+			if pt.FAAPeak > 4 {
+				t.Errorf("seed %d storm @%dns: FAA window exceeded: peak %d > 4",
+					seed, pt.IntervalNs, pt.FAAPeak)
+			}
+			if pt.MissPeak > 2 {
+				t.Errorf("seed %d storm @%dns: miss window exceeded: peak %d > 2",
+					seed, pt.IntervalNs, pt.MissPeak)
+			}
+			if pt.DroppedUpdates != 0 {
+				t.Errorf("seed %d storm @%dns: %d silent pending-slot drops",
+					seed, pt.IntervalNs, pt.DroppedUpdates)
+			}
+		}
+		if first.Storm[1].ShedUpdates == 0 || first.Storm[1].ShedMisses == 0 {
+			t.Errorf("seed %d: fast storm shed nothing: updates=%d misses=%d",
+				seed, first.Storm[1].ShedUpdates, first.Storm[1].ShedMisses)
+		}
+		if first.UnboundedPeakReads < 32 {
+			t.Errorf("seed %d: unbounded ablation stayed bounded: peak reads %d < 32",
+				seed, first.UnboundedPeakReads)
+		}
+		if first.UnboundedFAAPeak <= 4 || first.UnboundedMissPeak <= 2 {
+			t.Errorf("seed %d: unbounded storm stayed bounded: FAA %d, miss %d",
+				seed, first.UnboundedFAAPeak, first.UnboundedMissPeak)
+		}
+		if first.Snap.CreditRefused == 0 || first.Snap.ShedFrames == 0 {
+			t.Errorf("seed %d: snapshot missed admission activity: %+v", seed, first.Snap)
+		}
+		if first.PendingEvents != 0 {
+			t.Errorf("seed %d: event queue not quiescent: %d pending", seed, first.PendingEvents)
+		}
+		if after := wire.DefaultPool.Stats().Balance(); after != before {
+			t.Errorf("seed %d: frame pool unbalanced: %d before, %d after", seed, before, after)
+		}
+	}
+}

@@ -88,6 +88,8 @@ type Port struct {
 	TxDrops    int64
 	LossDrops  int64
 	FaultDrops int64
+
+	peakQueued int
 }
 
 // SetFaultInjector installs (or, with nil, removes) a fault injector on this
@@ -107,6 +109,11 @@ func (p *Port) Peer() *Port { return p.peer }
 
 // QueuedFrames reports the current transmit FIFO occupancy.
 func (p *Port) QueuedFrames() int { return p.txQueue.Len() }
+
+// PeakQueuedFrames reports the highest transmit FIFO occupancy observed —
+// the overload experiments use it to show credit windows keep device queues
+// bounded.
+func (p *Port) PeakQueuedFrames() int { return p.peakQueued }
 
 // RateBps returns the link's line rate in bits per second.
 func (p *Port) RateBps() float64 { return p.cfg.RateBps }
@@ -134,6 +141,9 @@ func (p *Port) Send(frame []byte) bool {
 			return false
 		}
 		p.txQueue.Push(frame)
+		if n := p.txQueue.Len(); n > p.peakQueued {
+			p.peakQueued = n
+		}
 		return true
 	}
 	p.transmit(frame)

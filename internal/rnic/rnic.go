@@ -40,6 +40,10 @@ type Config struct {
 	// for RDMA packet drops. Thresholds derive from RxRing (pause at 3/4,
 	// resume at 1/4).
 	EnablePFC bool
+	// MaxOutstandingOps is the per-QP outstanding-operation capacity the
+	// NIC advertises during channel setup (IB "responder resources"); the
+	// controller copies it onto the channel as the default credit window.
+	MaxOutstandingOps int
 }
 
 // DefaultConfig returns the CX-3 Pro-like calibration used by the
@@ -47,12 +51,13 @@ type Config struct {
 // numbers).
 func DefaultConfig() Config {
 	return Config{
-		MTU:             1024,
-		WritePayloadBps: 34.5e9,
-		ReadPayloadBps:  37.8e9,
-		AtomicOpsPerSec: 1.29e6,
-		ProcessingDelay: 600 * sim.Nanosecond,
-		RxRing:          512,
+		MTU:               1024,
+		WritePayloadBps:   34.5e9,
+		ReadPayloadBps:    37.8e9,
+		AtomicOpsPerSec:   1.29e6,
+		ProcessingDelay:   600 * sim.Nanosecond,
+		RxRing:            512,
+		MaxOutstandingOps: 16,
 	}
 }
 
@@ -75,6 +80,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.RxRing == 0 {
 		c.RxRing = d.RxRing
+	}
+	if c.MaxOutstandingOps == 0 {
+		c.MaxOutstandingOps = d.MaxOutstandingOps
 	}
 }
 

@@ -263,6 +263,7 @@ func (s *Switch) runPipeline(inPort int, frame []byte) {
 		ctx.ParseErr = err
 	} else {
 		ctx.Pkt = &s.pkt
+		ctx.Priority = ClassifyDSCP(ctx.Pkt)
 	}
 	s.Pipeline.Ingress(&ctx)
 	if ctx.frameSent || ctx.retained {
@@ -400,6 +401,27 @@ func (s *Switch) Inject(port int, frame []byte) bool {
 	return s.enqueue(port, frame)
 }
 
+// Priority is the two-class admission priority the overload-protection
+// layer keys on: under pressure, primitives shed PriorityLow traffic first
+// (counted, never silent) while PriorityHigh keeps exactness guarantees.
+type Priority uint8
+
+const (
+	PriorityLow Priority = iota
+	PriorityHigh
+)
+
+// ClassifyDSCP maps a parsed packet to its admission priority: IPv4 DSCP in
+// the expedited/network-control bands (>= 32, which covers CS4-CS7, EF and
+// the VOICE-ADMIT class) is high priority, everything else — including
+// unparsed or non-IP frames — is low.
+func ClassifyDSCP(pkt *wire.Packet) Priority {
+	if pkt != nil && pkt.HasIPv4 && pkt.IP.DSCP >= 32 {
+		return PriorityHigh
+	}
+	return PriorityLow
+}
+
 // Context is the pipeline's view of one packet in flight, mirroring the
 // intrinsic metadata and primitive actions a P4 program has.
 type Context struct {
@@ -410,6 +432,10 @@ type Context struct {
 	ParseErr error
 	// Frame is the raw frame.
 	Frame []byte
+	// Priority is the packet's admission class, marked at parse time from
+	// the IPv4 DSCP (see ClassifyDSCP). The overload-protection layer sheds
+	// PriorityLow traffic first; PriorityHigh keeps exactness guarantees.
+	Priority Priority
 
 	emitted   bool
 	dropped   bool

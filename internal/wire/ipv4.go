@@ -115,3 +115,19 @@ func ipChecksum(b []byte) uint16 {
 	}
 	return ^uint16(sum)
 }
+
+// SetDSCP stamps the DSCP field of a built data frame's IPv4 header in
+// place, re-checksumming the header. Frames too short for Ethernet+IPv4 or
+// without a well-formed IPv4 header are left untouched. DSCP >= 32 (e.g.
+// EF) classifies the frame as high priority in the switch pipeline.
+func SetDSCP(frame []byte, dscp uint8) {
+	if len(frame) < EthernetLen+IPv4Len {
+		return
+	}
+	ip := frame[EthernetLen:]
+	var h IPv4
+	if h.DecodeFromBytes(ip) == nil {
+		h.DSCP = dscp
+		h.Put(ip)
+	}
+}
