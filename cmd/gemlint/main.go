@@ -49,9 +49,13 @@ var frameownScope = []string{
 // byte-identical reproducibility check, so both contracts apply.
 const rootPackage = "gem"
 
-// hotallocScope are the designated allocation-free hot-path packages.
+// hotallocScope are the designated allocation-free hot-path packages. The
+// verbs transport is on every primitive's post and completion path, so it
+// carries the same zero-allocation contract as the wire layer (WQEs come
+// from a freelist, reassembly reuses one scratch buffer).
 var hotallocScope = []string{
 	"gem/internal/wire", "gem/internal/switchsim", "gem/internal/rnic",
+	"gem/internal/core/verbs",
 }
 
 // nodeterminismExempt are internal packages that are developer tooling, not

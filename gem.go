@@ -15,6 +15,13 @@
 //   - StateStore — per-flow counters updated with RDMA Fetch-and-Add
 //     (telemetry at DRAM scale, §2.3).
 //
+// All three primitives post their remote operations through one shared
+// verbs-style transport core (internal/core/verbs): a work-queue /
+// completion-queue layer that allocates PSNs, meters posts with credits,
+// matches responses, detects stale completions after retries, and recovers
+// from loss. Testbed.Stats folds every primitive's transport counters into
+// StatsSnapshot.Transport.
+//
 // Quickstart:
 //
 //	tb, _ := gem.New(gem.Options{Hosts: 2, MemoryServers: 1})
@@ -32,6 +39,7 @@ import (
 	"fmt"
 
 	"gem/internal/core"
+	"gem/internal/core/verbs"
 	"gem/internal/netsim"
 	"gem/internal/rnic"
 	"gem/internal/sim"
@@ -70,6 +78,14 @@ type (
 	Retransmitter = core.Retransmitter
 	// Failover is the §7 robustness extension (server crash handling).
 	Failover = core.Failover
+	// QP is one primitive's work queue over a channel — the shared verbs
+	// transport every primitive posts through (introspection via the
+	// primitives' Transport accessors).
+	QP = verbs.QP
+	// TransportStats is a QP's counter block — posted / completed / stale /
+	// retried / refused / expired per operation type, Add-mergeable.
+	// Testbed.Stats aggregates it as StatsSnapshot.Transport.
+	TransportStats = verbs.Stats
 
 	// Host is a plain server endpoint.
 	Host = netsim.Host

@@ -148,3 +148,37 @@ func cleanShed(lowPrio bool) {
 	}
 	sink(buf)
 }
+
+// --- transport work-queue paths (verbs refactor) ---
+
+// wqeExhaustedLeak is the exhausted-retries bug class the transport layer
+// must avoid: a reliable-mode work-queue entry retains its request frame
+// for resends, the completion path releases it — but when the retry budget
+// runs out, the give-up path drops the WQE and forgets the frame it holds.
+// Every exhausted op then leaks one pooled buffer.
+func wqeExhaustedLeak(acked bool, budget int) {
+	frame := pool.Get(64)
+	for i := 0; i < budget; i++ {
+		borrow(frame) // resend: the WQE keeps ownership
+		if acked {
+			pool.Put(frame) // completion releases exactly once
+			return
+		}
+	}
+	// Retries exhausted: the WQE is discarded here with its frame.
+	return // want "owned frame \"frame\" leaks"
+}
+
+// cleanWQEExhausted is the fixed shape: the give-up path recycles the
+// retained frame before discarding the WQE.
+func cleanWQEExhausted(acked bool, budget int) {
+	frame := pool.Get(64)
+	for i := 0; i < budget; i++ {
+		borrow(frame)
+		if acked {
+			pool.Put(frame)
+			return
+		}
+	}
+	pool.Put(frame)
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"reflect"
 
+	"gem/internal/core/verbs"
 	"gem/internal/sim"
 	"gem/internal/stats"
 	"gem/internal/switchsim"
@@ -157,7 +158,7 @@ func (c *Channel) EnsureCredits(cfg CreditConfig) *Credits {
 // NextPSN consumes n packet sequence numbers and returns the first.
 func (c *Channel) NextPSN(n uint32) uint32 {
 	v := uint32(c.psn.Get(0))
-	c.psn.Set(0, uint64((v+n)&0xFFFFFF))
+	c.psn.Set(0, uint64((v+n)&verbs.PSNMask))
 	return v
 }
 
@@ -167,7 +168,22 @@ func (c *Channel) PSN() uint32 { return uint32(c.psn.Get(0)) }
 // SetPSN forces the next PSN — the resynchronization hook for a strict
 // stream whose NIC-side expectation diverged from the switch (a NAK names
 // the PSN the NIC wants; see Retransmitter's desync recovery).
-func (c *Channel) SetPSN(v uint32) { c.psn.Set(0, uint64(v&0xFFFFFF)) }
+func (c *Channel) SetPSN(v uint32) { c.psn.Set(0, uint64(v&verbs.PSNMask)) }
+
+// Now returns the engine clock; part of the verbs.Endpoint contract.
+func (c *Channel) Now() sim.Time { return c.sw.Engine.Now() }
+
+// Schedule runs fn after the given delay on the channel's engine; part of
+// the verbs.Endpoint contract (the QP's lost-response progress kick).
+func (c *Channel) Schedule(after sim.Duration, fn func()) {
+	c.sw.Engine.Schedule(after, fn)
+}
+
+// RespPackets returns how many response packets a READ of n bytes produces
+// at the channel's path MTU — the PSN count the responder will consume.
+func (c *Channel) RespPackets(n int) uint32 {
+	return uint32((n + c.MTU - 1) / c.MTU)
+}
 
 // params returns request addressing by value so it stays on the caller's
 // stack (the builders only read through the pointer).

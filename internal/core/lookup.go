@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"gem/internal/core/verbs"
 	"gem/internal/rnic"
 	"gem/internal/sim"
 	"gem/internal/switchsim"
@@ -147,28 +148,18 @@ type LookupTable struct {
 
 	// pendingActions holds actions fetched by the recirculation variant,
 	// keyed by table index, until the parked packet comes around again.
-	// fetchPSN correlates READ responses back to the index via the PSN
-	// they echo; fetchIssued dedups concurrent fetches per index.
 	pendingActions map[int]LookupAction
-	fetchIssued    map[int]bool
-	fetchPSN       map[uint32]int
 
 	// credits is the miss admission window (nil when MaxOutstandingMisses
-	// is 0). missFIFO/missPSN track in-flight remote lookups by request PSN
-	// so responses and the timeout reaper release credits exactly once.
-	credits       *Credits
-	pendingCredit bool // credit taken at admission, not yet bound to a PSN
-	missFIFO      []*missRec
-	missPSN       map[uint32]*missRec
+	// is 0). qp is the work queue over the channel: it correlates READ
+	// responses to in-flight lookups by request PSN (the recirculation
+	// variant additionally indexes them by table index as the WQE token),
+	// releases each miss credit exactly once, and reaps lookups whose
+	// answers never arrived.
+	credits *Credits
+	qp      *verbs.QP
 
 	Stats LookupStats
-}
-
-type missRec struct {
-	psn  uint32
-	idx  int
-	at   sim.Time
-	done bool
 }
 
 // NewLookupTable wires the primitive to channel ch. The channel's region
@@ -184,9 +175,6 @@ func NewLookupTable(ch *Channel, cfg LookupConfig) (*LookupTable, error) {
 	t := &LookupTable{
 		ch: ch, sw: ch.sw, cfg: cfg,
 		pendingActions: make(map[int]LookupAction),
-		fetchIssued:    make(map[int]bool),
-		fetchPSN:       make(map[uint32]int),
-		missPSN:        make(map[uint32]*missRec),
 	}
 	if cfg.MaxOutstandingMisses > 0 {
 		t.credits = ch.EnsureCredits(CreditConfig{
@@ -194,6 +182,14 @@ func NewLookupTable(ch *Channel, cfg LookupConfig) (*LookupTable, error) {
 			Unlimited: cfg.UnlimitedWindow,
 		})
 	}
+	t.qp = verbs.NewQP(ch, t.credits, verbs.QPConfig{
+		// The recirculation variant dedups concurrent fetches per table
+		// index, so the index doubles as the WQE token.
+		TokenIndex: cfg.Mode == LookupRecirculate,
+		Reap:       true,
+		Timeout:    cfg.MissTimeout,
+		OnExpired:  func(verbs.OpType, uint64) { t.Stats.MissTimeouts++ },
+	})
 	t.Apply = t.ApplyDefault
 	if cfg.CacheEntries > 0 {
 		// A cached entry costs key (13B) + action (8B) ≈ 24B of SRAM.
@@ -218,6 +214,9 @@ func (t *LookupTable) Cache() *switchsim.CacheTable[wire.FlowKey, LookupAction] 
 
 // Credits exposes the miss admission window (nil when disabled).
 func (t *LookupTable) Credits() *Credits { return t.credits }
+
+// Transport exposes the table's work queue for introspection (gem.Stats).
+func (t *LookupTable) Transport() *verbs.QP { return t.qp }
 
 // SetDegraded switches the table between normal operation and the CPU
 // slow-path degraded mode (no remote traffic while degraded).
@@ -264,8 +263,8 @@ func (t *LookupTable) LookupPrio(ctx *switchsim.Context, frame []byte, pkt *wire
 	}
 	idx := key.Index(t.cfg.Entries)
 	if t.credits != nil && t.needsMissRead(idx) {
-		t.reapMisses()
-		if !t.credits.TryAcquire() {
+		t.qp.ReapExpired()
+		if !t.qp.TryReserve(verbs.OpRead) {
 			if prio == switchsim.PriorityLow {
 				t.Stats.ShedMisses++
 				ctx.DropFrame(frame)
@@ -275,8 +274,6 @@ func (t *LookupTable) LookupPrio(ctx *switchsim.Context, frame []byte, pkt *wire
 			t.slowPathOrDrop(ctx, frame, key)
 			return
 		}
-		// The issue site below binds this credit to the READ's PSN.
-		t.pendingCredit = true
 	}
 	t.Stats.RemoteLookups++
 	switch t.cfg.Mode {
@@ -311,80 +308,9 @@ func (t *LookupTable) needsMissRead(idx int) bool {
 		if _, ok := t.pendingActions[idx]; ok {
 			return false
 		}
-		return !t.fetchIssued[idx]
+		return !t.qp.TokenPending(uint64(idx))
 	}
 	return true
-}
-
-// missAdmit consumes the credit LookupPrio acquired for this miss, or takes
-// one directly (recirculation continuations re-issuing after a reap). False
-// means no credit is available and the READ must not be issued.
-func (t *LookupTable) missAdmit() bool {
-	if t.credits == nil {
-		return true
-	}
-	if t.pendingCredit {
-		t.pendingCredit = false
-		return true
-	}
-	return t.credits.TryAcquire()
-}
-
-// dropPendingCredit returns an admission credit that never bound to a READ
-// (e.g. the miss turned out to be malformed).
-func (t *LookupTable) dropPendingCredit() {
-	if t.pendingCredit {
-		t.pendingCredit = false
-		t.credits.Release()
-	}
-}
-
-// trackMiss records an in-flight remote lookup so the response (or the
-// reaper) releases its credit exactly once.
-func (t *LookupTable) trackMiss(psn uint32, idx int) {
-	if t.credits == nil {
-		return
-	}
-	rec := &missRec{psn: psn, idx: idx, at: t.sw.Engine.Now()}
-	t.missFIFO = append(t.missFIFO, rec)
-	t.missPSN[psn] = rec
-}
-
-// releaseMiss frees the credit held by the in-flight lookup psn, if any.
-func (t *LookupTable) releaseMiss(psn uint32) {
-	rec, ok := t.missPSN[psn]
-	if !ok || rec.done {
-		return
-	}
-	rec.done = true
-	delete(t.missPSN, psn)
-	t.credits.Release()
-}
-
-// reapMisses releases credits whose lookups never answered (request or
-// response lost); recirculation fetches are cleared so a later pass can
-// re-issue them.
-func (t *LookupTable) reapMisses() {
-	now := t.sw.Engine.Now()
-	for len(t.missFIFO) > 0 {
-		rec := t.missFIFO[0]
-		if rec.done {
-			t.missFIFO = t.missFIFO[1:]
-			continue
-		}
-		if now.Sub(rec.at) <= t.cfg.MissTimeout {
-			return
-		}
-		t.missFIFO = t.missFIFO[1:]
-		rec.done = true
-		delete(t.missPSN, rec.psn)
-		t.credits.Release()
-		t.Stats.MissTimeouts++
-		if t.cfg.Mode == LookupRecirculate {
-			delete(t.fetchPSN, rec.psn)
-			delete(t.fetchIssued, rec.idx)
-		}
-	}
 }
 
 // depositAndFetch bounces the original packet through the remote entry:
@@ -392,29 +318,26 @@ func (t *LookupTable) reapMisses() {
 func (t *LookupTable) depositAndFetch(ctx *switchsim.Context, frame []byte, idx int) {
 	if len(frame) > t.cfg.MaxPktBytes {
 		t.Stats.BadEntries++
-		t.dropPendingCredit()
+		t.qp.DropReservation()
 		ctx.Drop()
 		return
 	}
 	base := idx * t.cfg.EntrySize()
-	// Scratch deposit buffer: Channel.Write copies it into the request
+	// Scratch deposit buffer: the WRITE post copies it into the request
 	// frame, so it goes straight back to the pool.
 	deposit := wire.DefaultPool.Get(2 + len(frame))
 	deposit[0] = byte(len(frame) >> 8)
 	deposit[1] = byte(len(frame))
 	copy(deposit[2:], frame)
-	t.ch.Write(base+8, deposit) // after the 8-byte action field
+	t.qp.PostWrite(base+8, deposit) // after the 8-byte action field
 	wire.DefaultPool.Put(deposit)
 	t.Stats.Deposits++
+	// CreditLoose: the fetch goes out whether or not a credit is held — the
+	// switch stores nothing per packet, the window merely meters misses. If
+	// the READ was refused downstream (egress full), the reaper releases the
+	// credit after MissTimeout — self-healing either way.
 	n := t.cfg.EntrySize()
-	respPkts := uint32((n + t.ch.MTU - 1) / t.ch.MTU)
-	psn := t.ch.PSN()
-	t.ch.Read(base, n, respPkts)
-	if t.missAdmit() {
-		// If the READ was refused downstream (egress full), the reaper
-		// releases the credit after MissTimeout — self-healing either way.
-		t.trackMiss(psn, idx)
-	}
+	t.qp.PostRead(uint64(idx), base, n, t.ch.RespPackets(n), verbs.CreditLoose)
 	ctx.Drop() // original is gone: it lives in remote memory now
 }
 
@@ -432,13 +355,12 @@ func (t *LookupTable) recircFetch(ctx *switchsim.Context, frame []byte, idx, pas
 		ctx.Drop()
 		return
 	}
-	if !t.fetchIssued[idx] && t.missAdmit() {
-		t.fetchIssued[idx] = true
-		psn := t.ch.PSN()
+	if !t.qp.TokenPending(uint64(idx)) {
+		// CreditAdmit: consume the admission reservation (or take a fresh
+		// credit on a re-issue after a reap); a refusal skips the fetch and
+		// the parked packet simply comes around again.
 		base := idx * t.cfg.EntrySize()
-		t.ch.Read(base, 8, 1)
-		t.fetchPSN[psn] = idx
-		t.trackMiss(psn, idx)
+		t.qp.PostRead(uint64(idx), base, 8, 1, verbs.CreditAdmit)
 	}
 	t.Stats.RecircPasses++
 	t.sw.Stats.Recirculated++
@@ -469,11 +391,11 @@ func (t *LookupTable) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) {
 		ctx.Drop() // ACKs ignored by the prototype
 		return
 	}
-	if t.credits != nil {
-		// First/Only response packets echo the request PSN; release the
-		// miss credit the moment the answer lands, well-formed or not.
-		t.releaseMiss(pkt.BTH.PSN)
-	}
+	// First/Only response packets echo the request PSN; complete the miss
+	// the moment the answer lands, well-formed or not, releasing its credit.
+	// Middle/Last continuation packets (multi-packet deposit responses) and
+	// answers to already-reaped lookups simply miss the work queue.
+	cqe, matched := t.qp.CompleteExact(pkt.BTH.PSN)
 	payload := pkt.Payload
 	if len(payload) < 8 {
 		t.Stats.BadEntries++
@@ -484,12 +406,10 @@ func (t *LookupTable) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) {
 	copy(action[:], payload[:8])
 
 	if t.cfg.Mode == LookupRecirculate {
-		// Action-only fetch: the response echoes the request PSN, which
-		// the primitive recorded against the table index at issue time.
-		if idx, ok := t.fetchPSN[pkt.BTH.PSN]; ok {
-			delete(t.fetchPSN, pkt.BTH.PSN)
-			delete(t.fetchIssued, idx)
-			t.pendingActions[idx] = action
+		// Action-only fetch: the completed WQE's token is the table index
+		// the fetch was issued for.
+		if matched {
+			t.pendingActions[int(cqe.Token)] = action
 		}
 		ctx.Drop()
 		return

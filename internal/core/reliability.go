@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"gem/internal/core/verbs"
 	"gem/internal/sim"
 	"gem/internal/switchsim"
 	"gem/internal/wire"
@@ -293,8 +294,8 @@ func (r *Retransmitter) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet)
 			// before n was received and must retire first, or go-back-N
 			// needlessly resends (and the server re-executes) the prefix.
 			e := pkt.BTH.PSN
-			r.retire((e - 1) & 0xFFFFFF)
-			if len(r.unacked) > 0 && psnAfter24(r.unacked[0].psn, e) {
+			r.retire((e - 1) & verbs.PSNMask)
+			if len(r.unacked) > 0 && verbs.PSNAfter(r.unacked[0].psn, e) {
 				// Sequence desync: the NIC expects a PSN we no longer hold —
 				// its frame moved to another server in a Retarget (failback
 				// lands here: the stream resumes past the crash gap). The
@@ -353,7 +354,7 @@ func (r *Retransmitter) retire(psn uint32) {
 func (r *Retransmitter) ackThrough(psn uint32) {
 	keep := r.unacked[:0]
 	for _, u := range r.unacked {
-		if psnAfter24(u.psn, psn) {
+		if verbs.PSNAfter(u.psn, psn) {
 			keep = append(keep, u)
 		} else {
 			wire.DefaultPool.Put(u.frame)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 
+	"gem/internal/core/verbs"
 	"gem/internal/sim"
 	"gem/internal/switchsim"
 	"gem/internal/wire"
@@ -130,6 +131,12 @@ type PacketBufferStats struct {
 // about n server links of remote-buffer bandwidth. Entries stripe
 // round-robin; a small switch-side reorder stage (bounded by the
 // outstanding-read window) restores global order across channels.
+//
+// Since the work-queue refactor the buffer is a thin consumer of the verbs
+// transport: it decides *what* to spill and load (cursors, watermarks,
+// ordering) and posts READs through per-channel QPs; PSN tracking, stale
+// detection, response reassembly, credit release and timeout collection all
+// live in the transport. The ring-entry number g doubles as the WQE token.
 type PacketBuffer struct {
 	chans []*Channel
 	sw    *switchsim.Switch
@@ -156,9 +163,10 @@ type PacketBuffer struct {
 
 	byQPN map[uint32]int // channel ID → index in chans
 
-	// credits holds each channel's admission window (ch.EnsureCredits); one
-	// credit per in-flight READ on that channel.
-	credits []*Credits
+	// qps holds each channel's work queue (exact-PSN completion, token =
+	// ring entry, repost-style recovery); the QP owns the channel's
+	// admission window (ch.EnsureCredits), one credit per in-flight READ.
+	qps []*verbs.QP
 	// spillGated tracks the per-channel spill gate (SpillHighWaterBytes
 	// hysteresis on the memory-link egress queue).
 	spillGated []bool
@@ -168,27 +176,11 @@ type PacketBuffer struct {
 	// new spills toward servers past their occupancy watermark.
 	AdmitGate func(chanIdx int) bool
 
-	// READ tracking: responses echo the request PSN, which correlates
-	// them back to ring entries and makes timeout retry safe.
-	outstanding map[uint64]*outstandingRead // by entry number
-	byPSN       map[psnKey]uint64           // (channel, first PSN) → entry
-	currentG    []int64                     // per-channel entry being reassembled (-1 none)
-	partial     [][]byte                    // per-channel reassembly buffer
-	reorder     map[uint64][]byte
+	// reorder restores global emit order across channels for completed
+	// entries (nil marks a malformed entry consumed without forwarding).
+	reorder map[uint64][]byte
 
 	Stats PacketBufferStats
-}
-
-type outstandingRead struct {
-	g        uint64
-	chanIdx  int
-	psn      uint32
-	issuedAt sim.Time
-}
-
-type psnKey struct {
-	chanIdx int
-	psn     uint32
 }
 
 const (
@@ -222,22 +214,25 @@ func NewPacketBuffer(chans []*Channel, outPort int, cfg PacketBufferConfig) (*Pa
 	b := &PacketBuffer{
 		chans: chans, sw: sw, cfg: cfg, OutPort: outPort,
 		perChan: perChan, total: perChan * len(chans),
-		cursors:     regs,
-		byQPN:       make(map[uint32]int, len(chans)),
-		outstanding: make(map[uint64]*outstandingRead),
-		byPSN:       make(map[psnKey]uint64),
-		currentG:    make([]int64, len(chans)),
-		partial:     make([][]byte, len(chans)),
-		reorder:     make(map[uint64][]byte),
-		credits:     make([]*Credits, len(chans)),
-		spillGated:  make([]bool, len(chans)),
+		cursors:    regs,
+		byQPN:      make(map[uint32]int, len(chans)),
+		reorder:    make(map[uint64][]byte),
+		qps:        make([]*verbs.QP, len(chans)),
+		spillGated: make([]bool, len(chans)),
 	}
 	for i, ch := range chans {
 		b.byQPN[ch.ID] = i
-		b.currentG[i] = -1
-		b.credits[i] = ch.EnsureCredits(CreditConfig{
+		credits := ch.EnsureCredits(CreditConfig{
 			Window: cfg.PerChannelWindow, Low: cfg.ReadLowWatermark,
 			Unlimited: cfg.UnlimitedWindow,
+		})
+		b.qps[i] = verbs.NewQP(ch, credits, verbs.QPConfig{
+			TokenIndex: true,
+			Timeout:    cfg.ReadTimeout,
+			// Progress guarantee: if a response is lost and the egress goes
+			// idle (no departures to re-trigger loading), this kick retries.
+			Kick:      b.maybeLoad,
+			KickDelay: cfg.ReadTimeout + sim.Microsecond,
 		})
 	}
 	return b, nil
@@ -296,7 +291,23 @@ func (b *PacketBuffer) channelOf(g uint64) (*Channel, int, int) {
 }
 
 // ChannelCredits exposes channel i's admission window for introspection.
-func (b *PacketBuffer) ChannelCredits(i int) *Credits { return b.credits[i] }
+func (b *PacketBuffer) ChannelCredits(i int) *Credits { return b.qps[i].Credits() }
+
+// Transport exposes channel i's work queue for introspection (gem.Stats).
+func (b *PacketBuffer) Transport(i int) *verbs.QP { return b.qps[i] }
+
+// Channels reports how many channels stripe the ring.
+func (b *PacketBuffer) Channels() int { return len(b.chans) }
+
+// pendingReads sums in-flight READs across all channel QPs (the global
+// MaxOutstandingReads bound spans channels).
+func (b *PacketBuffer) pendingReads() int {
+	n := 0
+	for _, qp := range b.qps {
+		n += qp.Pending()
+	}
+	return n
+}
 
 // ChannelOccupancyBytes reports the bytes channel i's ring region currently
 // holds (stored, not yet forwarded) — the pressure monitor's gauge input.
@@ -384,14 +395,14 @@ func (b *PacketBuffer) store(frame []byte) {
 		b.Stats.RingDrops++ // remote ring full: the >10 GB pool exhausted
 		return
 	}
-	// Scratch entry buffer: Channel.Write copies it into the request frame,
+	// Scratch entry buffer: the WRITE post copies it into the request frame,
 	// so it can go straight back to the pool.
 	entry := wire.DefaultPool.Get(2 + len(frame))
 	entry[0] = byte(len(frame) >> 8)
 	entry[1] = byte(len(frame))
 	copy(entry[2:], frame)
-	ch, _, off := b.channelOf(tail)
-	ok := ch.Write(off, entry)
+	_, c, off := b.channelOf(tail)
+	ok := b.qps[c].PostWrite(off, entry)
 	wire.DefaultPool.Put(entry)
 	if !ok {
 		b.Stats.StoreFails++
@@ -405,51 +416,21 @@ func (b *PacketBuffer) store(frame []byte) {
 	}
 }
 
-// issueRead sends the READ for entry g and tracks it. A first issue takes a
-// credit from the channel's window; retries reuse the credit their entry
-// already holds.
-func (b *PacketBuffer) issueRead(g uint64) bool {
-	ch, c, off := b.channelOf(g)
-	rec := b.outstanding[g]
-	if rec == nil && !b.credits[c].TryAcquire() {
-		return false
-	}
-	respPkts := uint32((b.cfg.EntrySize + ch.MTU - 1) / ch.MTU)
-	psn := ch.PSN()
-	if !ch.Read(off, b.cfg.EntrySize, respPkts) {
-		if rec == nil {
-			b.credits[c].Release()
-		}
-		return false
-	}
-	if rec == nil {
-		rec = &outstandingRead{g: g, chanIdx: c}
-		b.outstanding[g] = rec
-	} else {
-		delete(b.byPSN, psnKey{c, rec.psn})
-	}
-	rec.psn = psn
-	rec.issuedAt = b.sw.Engine.Now()
-	b.byPSN[psnKey{c, psn}] = g
-	// Progress guarantee: if the response is lost and the egress goes
-	// idle (no departures to re-trigger loading), this event retries.
-	b.sw.Engine.Schedule(b.cfg.ReadTimeout+sim.Microsecond, b.maybeLoad)
-	return true
-}
-
 // maybeLoad issues READ requests while the protected queue has room and
 // stored packets remain, and retries any READ that has timed out.
 func (b *PacketBuffer) maybeLoad() {
 	b.retryStale()
 	for b.detour && !b.paused &&
 		b.cursors.Get(regReadNext) < b.cursors.Get(regTail) &&
-		len(b.outstanding) < b.cfg.MaxOutstandingReads &&
+		b.pendingReads() < b.cfg.MaxOutstandingReads &&
 		b.sw.QueueBytes(b.OutPort) < b.cfg.LowWaterBytes {
 		g := b.cursors.Get(regReadNext)
-		if !b.credits[int(g%uint64(len(b.chans)))].CanAcquire() {
+		ch, c, off := b.channelOf(g)
+		qp := b.qps[c]
+		if !qp.CanPost() {
 			return // channel window gated; responses will retrigger
 		}
-		if !b.issueRead(g) {
+		if !qp.PostRead(g, off, b.cfg.EntrySize, ch.RespPackets(b.cfg.EntrySize), verbs.CreditTry) {
 			return // memory-link egress full; departures will retrigger
 		}
 		b.cursors.Set(regReadNext, g+1)
@@ -459,22 +440,19 @@ func (b *PacketBuffer) maybeLoad() {
 // retryStale re-issues READs whose responses were lost (request or
 // response dropped on a saturated path).
 func (b *PacketBuffer) retryStale() {
-	if b.paused || len(b.outstanding) == 0 {
+	if b.paused || b.pendingReads() == 0 {
 		return
 	}
-	now := b.sw.Engine.Now()
-	// Retries issue READs, which consume PSNs: iterate in entry order so the
-	// PSN assignment (and therefore the whole trace) is reproducible.
-	stale := make([]uint64, 0, len(b.outstanding))
-	//gem:deterministic — collecting keys for sorting is order-independent
-	for g, rec := range b.outstanding {
-		if now.Sub(rec.issuedAt) > b.cfg.ReadTimeout {
-			stale = append(stale, g)
-		}
+	// Retries issue READs, which consume PSNs: collect the timed-out entries
+	// from every channel QP and re-issue in entry order so the PSN
+	// assignment (and therefore the whole trace) is reproducible.
+	var stale []uint64
+	for _, qp := range b.qps {
+		stale = qp.AppendExpired(stale)
 	}
 	slices.Sort(stale)
 	for _, g := range stale {
-		if b.issueRead(b.outstanding[g].g) {
+		if b.qps[g%uint64(len(b.chans))].Repost(g) {
 			b.Stats.ReadRetries++
 		}
 	}
@@ -494,61 +472,30 @@ func (b *PacketBuffer) PacketEnqueued(port int, queueBytes int) {}
 // HandleResponse consumes READ responses: decapsulate the RoCE headers and
 // forward the original packet to the protected port (§4: "The switch must
 // parse the READ response, decapsulate the RoCE headers, and passes the
-// original packet to the egress pipeline").
+// original packet to the egress pipeline"). Matching, reassembly and stale
+// detection live in the channel's QP; the buffer consumes completions.
 func (b *PacketBuffer) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) {
 	c, ok := b.byQPN[pkt.BTH.DestQP]
 	if !ok {
 		ctx.Drop()
 		return
 	}
-	switch pkt.BTH.Opcode {
-	case wire.OpReadResponseOnly:
-		if g, ok := b.byPSN[psnKey{c, pkt.BTH.PSN}]; ok {
-			b.finishEntry(ctx, g, pkt.Payload)
-		} else {
-			b.Stats.StaleResponses++
-			ctx.Drop()
-		}
-	case wire.OpReadResponseFirst:
-		if g, ok := b.byPSN[psnKey{c, pkt.BTH.PSN}]; ok {
-			b.currentG[c] = int64(g)
-			b.partial[c] = append(b.partial[c][:0], pkt.Payload...)
-		} else {
-			b.Stats.StaleResponses++
-			b.currentG[c] = -1
-		}
+	cqe, entry, status := b.qps[c].ReadResponse(pkt)
+	switch status {
+	case verbs.CQDone:
+		b.finishEntry(ctx, cqe.Token, entry)
+	case verbs.CQStale:
+		b.Stats.StaleResponses++
 		ctx.Drop()
-	case wire.OpReadResponseMiddle:
-		if b.currentG[c] >= 0 {
-			b.partial[c] = append(b.partial[c], pkt.Payload...)
-		}
-		ctx.Drop()
-	case wire.OpReadResponseLast:
-		if g := b.currentG[c]; g >= 0 {
-			entry := append(b.partial[c], pkt.Payload...)
-			b.currentG[c] = -1
-			b.partial[c] = b.partial[c][:0]
-			b.finishEntry(ctx, uint64(g), entry)
-		} else {
-			ctx.Drop()
-		}
-	default:
-		// ACK/NAK: the prototype ignores them (reliability is §7 work).
+	default: // partial (reassembly in progress) or ACK/NAK: consumed here
 		ctx.Drop()
 	}
 }
 
+// finishEntry consumes one completed ring entry (the QP has already retired
+// the WQE and released its credit): stage it in the reorder buffer and emit
+// everything now contiguous in global order.
 func (b *PacketBuffer) finishEntry(ctx *switchsim.Context, g uint64, entry []byte) {
-	rec, ok := b.outstanding[g]
-	if !ok {
-		b.Stats.StaleResponses++
-		ctx.Drop()
-		return
-	}
-	delete(b.byPSN, psnKey{rec.chanIdx, rec.psn})
-	delete(b.outstanding, g)
-	b.credits[rec.chanIdx].Release()
-
 	var orig []byte
 	if len(entry) >= 2 {
 		n := int(entry[0])<<8 | int(entry[1])
@@ -575,7 +522,7 @@ func (b *PacketBuffer) finishEntry(ctx *switchsim.Context, g uint64, entry []byt
 			ctx.Emit(b.OutPort, frame)
 		}
 	}
-	if b.Depth() == 0 && len(b.outstanding) == 0 {
+	if b.Depth() == 0 && b.pendingReads() == 0 {
 		// Ring drained: new packets may take the direct path again.
 		b.detour = false
 	} else {

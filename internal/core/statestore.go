@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"gem/internal/core/verbs"
 	"gem/internal/sim"
 	"gem/internal/switchsim"
 	"gem/internal/wire"
@@ -86,10 +87,20 @@ type StateStoreStats struct {
 // pipeline is saturated, updates accumulate in switch registers and are
 // flushed — with the accumulated delta — as slots free up, so the remote
 // value stays exact.
+//
+// Since the work-queue refactor the store is a thin consumer of the verbs
+// transport: it decides *what* to flush (accumulate, batch, shed) and posts
+// FAAs through its QP; PSN tracking, cumulative ACK matching, credit
+// release, and timeout reaping all live in the transport.
 type StateStore struct {
 	ch  *Channel
 	sw  *switchsim.Switch
 	cfg StateStoreConfig
+
+	// qp is the store's work queue: cumulative completion (atomic ACKs
+	// retire every FAA at or before the echoed PSN) with the FIFO reaper
+	// standing in for RNIC-progress tracking on the lossy path.
+	qp *verbs.QP
 
 	// rt, when set, carries every FAA through the Retransmitter instead of
 	// the bare channel: loss recovery moves to the retransmit window, so the
@@ -103,20 +114,14 @@ type StateStore struct {
 	degraded bool
 
 	// credits is the channel's shared admission window (ch.EnsureCredits):
-	// one credit per in-flight FAA, replacing the old ad-hoc counter.
-	credits  *Credits
-	inflight []faaRecord // FIFO of unanswered FAAs
+	// one credit per in-flight FAA, held and released by the QP.
+	credits *Credits
 
 	pending    map[int]uint64 // counter index → accumulated delta
 	dirty      []int          // FIFO of indexes with pending deltas
 	pendingSum uint64
 
 	Stats StateStoreStats
-}
-
-type faaRecord struct {
-	psn    uint32
-	sentAt sim.Time
 }
 
 // NewStateStore wires the primitive to channel ch. The channel region must
@@ -145,6 +150,12 @@ func NewStateStore(ch *Channel, cfg StateStoreConfig) (*StateStore, error) {
 	// Reflect the resolved window (WindowHint or credit default) back into
 	// the config so Config().MaxOutstanding reports the effective limit.
 	s.cfg.MaxOutstanding = s.credits.Config().Window
+	s.qp = verbs.NewQP(ch, s.credits, verbs.QPConfig{
+		Cumulative: true,
+		Reap:       true,
+		Timeout:    s.cfg.OutstandingTimeout,
+		OnExpired:  func(verbs.OpType, uint64) { s.Stats.TimedOut++ },
+	})
 	return s, nil
 }
 
@@ -153,6 +164,9 @@ func (s *StateStore) Config() StateStoreConfig { return s.cfg }
 
 // Channel returns the RDMA channel the store runs over.
 func (s *StateStore) Channel() *Channel { return s.ch }
+
+// Transport exposes the store's work queue for introspection (gem.Stats).
+func (s *StateStore) Transport() *verbs.QP { return s.qp }
 
 // Rebind moves the store to a new channel (server failover). In-flight
 // requests to the old server are abandoned; locally accumulated updates are
@@ -166,19 +180,20 @@ func (s *StateStore) Rebind(ch *Channel) {
 	// Abandoned in-flight FAAs return their credits to the old channel's
 	// window (nothing will ever answer them), then the store adopts the new
 	// channel's window, carrying its configuration across.
-	for range s.inflight {
-		s.credits.Release()
-	}
-	s.inflight = nil
+	s.qp.Abort()
 	s.ch = ch
 	s.credits = ch.EnsureCredits(s.credits.Config())
+	s.qp.Rebind(ch, s.credits)
 	s.flush()
 }
 
 // SetRetransmitter routes all future FAAs through rt (reliable mode). The
 // caller is responsible for the response chain reaching rt before the store
 // (rt.Inner = store) and for retargeting rt on failover.
-func (s *StateStore) SetRetransmitter(rt *Retransmitter) { s.rt = rt }
+func (s *StateStore) SetRetransmitter(rt *Retransmitter) {
+	s.rt = rt
+	s.qp.SetReliable(rt)
+}
 
 // SetDegraded pauses (true) or re-enables (false) remote flushing; prefer
 // Reconcile for the re-enable edge, which also kicks the backlog out.
@@ -204,7 +219,7 @@ func (s *StateStore) Reconcile() {
 	s.Stats.Reconciles++
 	s.Stats.DegradedExits++
 	if s.rt == nil {
-		s.reapTimeouts()
+		s.qp.ReapExpired()
 	}
 	s.flush()
 }
@@ -261,7 +276,7 @@ func (s *StateStore) UpdatePrio(idx int, delta uint64, prio switchsim.Priority) 
 		return
 	}
 	if s.rt == nil {
-		s.reapTimeouts()
+		s.qp.ReapExpired()
 	}
 	s.accumulate(idx, delta)
 	s.flush()
@@ -286,7 +301,7 @@ func (s *StateStore) flush() {
 	if s.degraded {
 		return
 	}
-	for s.credits.CanAcquire() && len(s.dirty) > 0 {
+	for s.qp.CanPost() && len(s.dirty) > 0 {
 		idx := s.dirty[0]
 		delta := s.pending[idx]
 		if delta == 0 {
@@ -302,35 +317,13 @@ func (s *StateStore) flush() {
 			// busy; wait for more updates or a free pipeline.
 			return
 		}
-		var psn uint32
-		if s.rt != nil {
-			if !s.rt.CanSend() {
-				return // retransmit window full; an ACK will retrigger
-			}
-			psn = s.rt.FetchAdd(s.CounterOffset(idx), delta)
-		} else {
-			var ok bool
-			psn, ok = s.ch.FetchAdd(s.CounterOffset(idx), delta)
-			if !ok {
-				return // memory-link egress full; retry on next event
-			}
+		if !s.qp.PostFetchAdd(s.CounterOffset(idx), delta) {
+			return // egress or retransmit window full; retry on next event
 		}
 		s.dirty = s.dirty[1:]
 		delete(s.pending, idx)
 		s.pendingSum -= delta
-		s.credits.Acquire()
-		s.inflight = append(s.inflight, faaRecord{psn: psn, sentAt: s.sw.Engine.Now()})
 		s.Stats.FAAIssued++
-	}
-}
-
-// reapTimeouts releases outstanding slots whose FAA never answered.
-func (s *StateStore) reapTimeouts() {
-	now := s.sw.Engine.Now()
-	for len(s.inflight) > 0 && now.Sub(s.inflight[0].sentAt) > s.cfg.OutstandingTimeout {
-		s.inflight = s.inflight[1:]
-		s.credits.Release()
-		s.Stats.TimedOut++
 	}
 }
 
@@ -342,16 +335,8 @@ func (s *StateStore) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) {
 		return
 	}
 	s.Stats.AcksSeen++
-	// Pop the matching in-flight record (cumulative: anything at or
-	// before the echoed PSN is answered or lost-and-answered-later).
-	for len(s.inflight) > 0 && !psnAfter24(s.inflight[0].psn, pkt.BTH.PSN) {
-		s.inflight = s.inflight[1:]
-		s.credits.Release()
-	}
+	// Cumulative completion: anything at or before the echoed PSN is
+	// answered or lost-and-answered-later.
+	s.qp.AckCumulative(pkt.BTH.PSN)
 	s.flush()
-}
-
-// psnAfter24 reports whether a is strictly after b in 24-bit PSN space.
-func psnAfter24(a, b uint32) bool {
-	return a != b && (a-b)&0xFFFFFF < 1<<23
 }

@@ -1,0 +1,123 @@
+package verbs
+
+// Allocation gates for the transport hot paths, in the style of the wire
+// pool gates (PR 1): the post→inject and completion-dispatch cycles must
+// run at 0 allocs/op once warm. WQEs come from the freelist, the PSN/token
+// indexes churn a bounded key set, and reassembly reuses one scratch
+// buffer — so a warm QP never touches the heap. Frame building itself is
+// gated separately in internal/wire (the pooled Build*Into paths).
+
+import (
+	"testing"
+
+	"gem/internal/wire"
+)
+
+// readCycle is one post→inject→complete round on the exact-PSN path
+// (the PacketBuffer shape: token-indexed, windowed credits).
+func readCycle(ep *fakeEndpoint, qp *QP, t *testing.T) {
+	psn := ep.psn
+	if !qp.PostRead(1, 0, 128, 1, CreditTry) {
+		t.Fatal("post refused")
+	}
+	if _, ok := qp.CompleteExact(psn); !ok {
+		t.Fatal("completion missed")
+	}
+}
+
+// faaCycle is one post→inject→ack round on the cumulative path (the
+// StateStore shape: FIFO retirement by ACK PSN).
+func faaCycle(ep *fakeEndpoint, qp *QP, t *testing.T) {
+	psn := ep.psn
+	if !qp.PostFetchAdd(0, 1) {
+		t.Fatal("post refused")
+	}
+	if n := qp.AckCumulative(psn); n != 1 {
+		t.Fatalf("ack retired %d, want 1", n)
+	}
+}
+
+// respCycle is one multi-packet completion dispatch: a 2-packet READ
+// reassembled from First+Last segments through the shared scratch buffer.
+func respCycle(ep *fakeEndpoint, qp *QP, first, last *wire.Packet, t *testing.T) {
+	psn := ep.psn
+	if !qp.PostRead(1, 0, 2048, 2, CreditTry) {
+		t.Fatal("post refused")
+	}
+	first.BTH.PSN = psn
+	if _, _, st := qp.ReadResponse(first); st != CQNone {
+		t.Fatalf("First status = %v", st)
+	}
+	last.BTH.PSN = (psn + 1) & PSNMask
+	if _, _, st := qp.ReadResponse(last); st != CQDone {
+		t.Fatalf("Last status = %v", st)
+	}
+}
+
+// TestTransportZeroAlloc is the hard gate behind the 0 allocs/op
+// acceptance criterion for the transport core.
+func TestTransportZeroAlloc(t *testing.T) {
+	ep := &fakeEndpoint{}
+	qp := NewQP(ep, NewCredits(CreditConfig{Window: 16}), QPConfig{TokenIndex: true})
+	readCycle(ep, qp, t) // warm the freelist and index buckets
+	if n := testing.AllocsPerRun(200, func() { readCycle(ep, qp, t) }); n != 0 {
+		t.Fatalf("READ post+complete: %v allocs/op, want 0", n)
+	}
+
+	epF := &fakeEndpoint{}
+	qpF := NewQP(epF, NewCredits(CreditConfig{Window: 16}), QPConfig{Cumulative: true})
+	faaCycle(epF, qpF, t)
+	if n := testing.AllocsPerRun(200, func() { faaCycle(epF, qpF, t) }); n != 0 {
+		t.Fatalf("FAA post+ack: %v allocs/op, want 0", n)
+	}
+
+	epR := &fakeEndpoint{}
+	qpR := NewQP(epR, NewCredits(CreditConfig{Window: 16}), QPConfig{TokenIndex: true})
+	payload := make([]byte, 1024)
+	first := &wire.Packet{BTH: wire.BTH{Opcode: wire.OpReadResponseFirst}, Payload: payload}
+	last := &wire.Packet{BTH: wire.BTH{Opcode: wire.OpReadResponseLast}, Payload: payload}
+	respCycle(epR, qpR, first, last, t) // warm the reassembly scratch
+	if n := testing.AllocsPerRun(200, func() { respCycle(epR, qpR, first, last, t) }); n != 0 {
+		t.Fatalf("multi-packet dispatch: %v allocs/op, want 0", n)
+	}
+}
+
+func BenchmarkQPPostCompleteRead(b *testing.B) {
+	ep := &fakeEndpoint{}
+	qp := NewQP(ep, NewCredits(CreditConfig{Window: 16}), QPConfig{TokenIndex: true})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		psn := ep.psn
+		qp.PostRead(1, 0, 128, 1, CreditTry)
+		qp.CompleteExact(psn)
+	}
+}
+
+func BenchmarkQPPostAckFetchAdd(b *testing.B) {
+	ep := &fakeEndpoint{}
+	qp := NewQP(ep, NewCredits(CreditConfig{Window: 16}), QPConfig{Cumulative: true})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		psn := ep.psn
+		qp.PostFetchAdd(0, 1)
+		qp.AckCumulative(psn)
+	}
+}
+
+func BenchmarkQPReadResponseDispatch(b *testing.B) {
+	ep := &fakeEndpoint{}
+	qp := NewQP(ep, NewCredits(CreditConfig{Window: 16}), QPConfig{TokenIndex: true})
+	payload := make([]byte, 1024)
+	first := &wire.Packet{BTH: wire.BTH{Opcode: wire.OpReadResponseFirst}, Payload: payload}
+	last := &wire.Packet{BTH: wire.BTH{Opcode: wire.OpReadResponseLast}, Payload: payload}
+	b.SetBytes(2048)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		psn := ep.psn
+		qp.PostRead(1, 0, 2048, 2, CreditTry)
+		first.BTH.PSN = psn
+		qp.ReadResponse(first)
+		last.BTH.PSN = (psn + 1) & PSNMask
+		qp.ReadResponse(last)
+	}
+}

@@ -1,0 +1,17 @@
+package verbs
+
+// 24-bit packet sequence number arithmetic, shared by every layer that
+// compares PSNs: the transport's cumulative completion, the Retransmitter's
+// retire/NAK logic, and the RNIC responder's expected-PSN admission. One
+// definition means one wraparound contract (see the wraparound tests).
+
+// PSNMask is the 24-bit PSN space; every stored PSN is masked to it.
+const PSNMask = 0xFFFFFF
+
+// PSNAfter reports whether a is strictly after b in 24-bit sequence space:
+// the signed 24-bit distance from b to a is positive. Exactly half the
+// space (1<<23) compares "before", so the comparison stays correct across
+// the 0xFFFFFF→0 wrap as long as windows span less than 2^23 PSNs.
+func PSNAfter(a, b uint32) bool {
+	return a != b && (a-b)&PSNMask < 1<<23
+}

@@ -1,0 +1,155 @@
+package verbs
+
+import (
+	"testing"
+
+	"gem/internal/sim"
+	"gem/internal/wire"
+)
+
+// fakeEndpoint is a minimal Endpoint for transport unit tests: PSNs advance
+// exactly like the channel's register (masked to 24 bits), frames go
+// nowhere.
+type fakeEndpoint struct {
+	psn  uint32
+	now  sim.Time
+	fail bool // refuse injections (egress full)
+}
+
+func (f *fakeEndpoint) PSN() uint32 { return f.psn }
+func (f *fakeEndpoint) Read(offset, n int, respPkts uint32) bool {
+	if f.fail {
+		return false
+	}
+	f.psn = (f.psn + respPkts) & PSNMask
+	return true
+}
+func (f *fakeEndpoint) Write(offset int, payload []byte) bool {
+	if f.fail {
+		return false
+	}
+	f.psn = (f.psn + 1) & PSNMask
+	return true
+}
+func (f *fakeEndpoint) FetchAdd(offset int, delta uint64) (uint32, bool) {
+	if f.fail {
+		return 0, false
+	}
+	p := f.psn
+	f.psn = (f.psn + 1) & PSNMask
+	return p, true
+}
+func (f *fakeEndpoint) Now() sim.Time                          { return f.now }
+func (f *fakeEndpoint) Schedule(after sim.Duration, fn func()) {}
+
+func TestPSNAfterWraparound(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		want bool
+	}{
+		{1, 0, true},
+		{0, 0, false},
+		{0, 0xFFFFFF, true},  // 0 comes right after the wrap point
+		{0xFFFFFF, 0, false}, // ~16M "ahead" = behind in 24-bit space
+		{5, 0xFFFFFA, true},  // short distance across the wrap
+		{0xFFFFFA, 5, false},
+		{1<<23 - 1, 0, true}, // farthest "after" the window allows
+		{1 << 23, 0, false},  // half the space away = behind
+	}
+	for _, c := range cases {
+		if got := PSNAfter(c.a, c.b); got != c.want {
+			t.Errorf("PSNAfter(%#x, %#x) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestQPExactMatchAcrossWrap(t *testing.T) {
+	ep := &fakeEndpoint{psn: 0xFFFFFE}
+	qp := NewQP(ep, nil, QPConfig{TokenIndex: true})
+	// Two 2-packet READs straddle the wrap: PSNs {FFFFFE, FFFFFF} and {0, 1}.
+	if !qp.PostRead(1, 0, 128, 2, CreditTry) || !qp.PostRead(2, 128, 128, 2, CreditTry) {
+		t.Fatal("posts refused")
+	}
+	if ep.psn != 2 {
+		t.Fatalf("endpoint PSN = %#x, want wrap to 2", ep.psn)
+	}
+	// Completions match by request PSN on both sides of the wrap,
+	// regardless of arrival order.
+	cqe, ok := qp.CompleteExact(0)
+	if !ok || cqe.Token != 2 {
+		t.Fatalf("post-wrap completion: ok=%v token=%d, want token 2", ok, cqe.Token)
+	}
+	cqe, ok = qp.CompleteExact(0xFFFFFE)
+	if !ok || cqe.Token != 1 {
+		t.Fatalf("pre-wrap completion: ok=%v token=%d, want token 1", ok, cqe.Token)
+	}
+	if _, ok := qp.CompleteExact(0xFFFFFE); ok {
+		t.Fatal("duplicate completion matched a retired WQE")
+	}
+	if qp.Stats.Read.Stale != 1 || qp.Stats.Read.Completed != 2 || qp.Pending() != 0 {
+		t.Fatalf("stats after wrap: %+v, pending %d", qp.Stats.Read, qp.Pending())
+	}
+}
+
+func TestQPCumulativeAckAcrossWrap(t *testing.T) {
+	ep := &fakeEndpoint{psn: 0xFFFFFE}
+	qp := NewQP(ep, nil, QPConfig{Cumulative: true})
+	for i := 0; i < 4; i++ { // PSNs FFFFFE, FFFFFF, 0, 1
+		if !qp.PostFetchAdd(0, 1) {
+			t.Fatal("post refused")
+		}
+	}
+	// A cumulative ACK at post-wrap PSN 0 retires everything at or before
+	// it — including the two pre-wrap PSNs. PSNAfter must not see FFFFFE
+	// as "after" 0.
+	if n := qp.AckCumulative(0); n != 3 {
+		t.Fatalf("AckCumulative(0) retired %d, want 3", n)
+	}
+	if n := qp.AckCumulative(1); n != 1 {
+		t.Fatalf("AckCumulative(1) retired %d, want 1", n)
+	}
+	if qp.Pending() != 0 || qp.Stats.FetchAdd.Completed != 4 {
+		t.Fatalf("pending %d, completed %d after drain", qp.Pending(), qp.Stats.FetchAdd.Completed)
+	}
+}
+
+func TestQPReassemblyAcrossWrap(t *testing.T) {
+	ep := &fakeEndpoint{psn: 0xFFFFFF}
+	qp := NewQP(ep, nil, QPConfig{TokenIndex: true})
+	if !qp.PostRead(7, 0, 2048, 2, CreditTry) { // PSNs FFFFFF, 0
+		t.Fatal("post refused")
+	}
+	first := &wire.Packet{BTH: wire.BTH{Opcode: wire.OpReadResponseFirst, PSN: 0xFFFFFF}, Payload: []byte{1, 2}}
+	if _, _, st := qp.ReadResponse(first); st != CQNone {
+		t.Fatalf("First status = %v, want CQNone", st)
+	}
+	last := &wire.Packet{BTH: wire.BTH{Opcode: wire.OpReadResponseLast, PSN: 0}, Payload: []byte{3, 4}}
+	cqe, entry, st := qp.ReadResponse(last)
+	if st != CQDone || cqe.Token != 7 {
+		t.Fatalf("Last: status=%v token=%d, want CQDone token 7", st, cqe.Token)
+	}
+	if len(entry) != 4 || entry[0] != 1 || entry[3] != 4 {
+		t.Fatalf("reassembled entry = %v, want [1 2 3 4]", entry)
+	}
+}
+
+func TestQPRepostAcrossWrap(t *testing.T) {
+	ep := &fakeEndpoint{psn: 0xFFFFFF}
+	qp := NewQP(ep, nil, QPConfig{TokenIndex: true})
+	if !qp.PostRead(3, 0, 64, 1, CreditTry) { // PSN FFFFFF
+		t.Fatal("post refused")
+	}
+	if !qp.Repost(3) { // re-issued at PSN 0, across the wrap
+		t.Fatal("repost refused")
+	}
+	if _, ok := qp.CompleteExact(0xFFFFFF); ok {
+		t.Fatal("retired PSN matched after repost remapped it across the wrap")
+	}
+	cqe, ok := qp.CompleteExact(0)
+	if !ok || cqe.Token != 3 {
+		t.Fatalf("repost completion: ok=%v token=%d, want token 3", ok, cqe.Token)
+	}
+	if qp.Stats.Read.Retried != 1 || qp.Stats.Read.Stale != 1 || qp.Pending() != 0 {
+		t.Fatalf("stats after repost: %+v, pending %d", qp.Stats.Read, qp.Pending())
+	}
+}

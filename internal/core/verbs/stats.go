@@ -1,0 +1,39 @@
+package verbs
+
+// OpStats are one operation type's transport counters.
+type OpStats struct {
+	Posted    int64 // work requests issued to the wire layer
+	Completed int64 // completions matched to a live WQE
+	Stale     int64 // responses that matched no live WQE
+	Retried   int64 // reposts of a timed-out WQE (fresh PSNs, same credit)
+	Refused   int64 // posts cancelled by the admission window
+	Expired   int64 // WQEs the reaper discarded (credit released)
+}
+
+// Add returns the element-wise sum of s and o.
+func (s OpStats) Add(o OpStats) OpStats {
+	s.Posted += o.Posted
+	s.Completed += o.Completed
+	s.Stale += o.Stale
+	s.Retried += o.Retried
+	s.Refused += o.Refused
+	s.Expired += o.Expired
+	return s
+}
+
+// Stats are a QP's transport counters, per operation type. The struct is
+// flat and comparable so aggregate snapshots (gem.StatsSnapshot) can embed
+// it and compare by ==.
+type Stats struct {
+	Read     OpStats
+	Write    OpStats
+	FetchAdd OpStats
+}
+
+// Add returns the element-wise sum of s and o.
+func (s Stats) Add(o Stats) Stats {
+	s.Read = s.Read.Add(o.Read)
+	s.Write = s.Write.Add(o.Write)
+	s.FetchAdd = s.FetchAdd.Add(o.FetchAdd)
+	return s
+}

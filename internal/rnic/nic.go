@@ -3,6 +3,7 @@ package rnic
 import (
 	"fmt"
 
+	"gem/internal/core/verbs"
 	"gem/internal/fifo"
 	"gem/internal/netsim"
 	"gem/internal/sim"
@@ -79,6 +80,11 @@ func (q *QP) replayAtomic(psn uint32) (uint64, bool) {
 
 // ExpectedPSN returns the responder's next expected PSN (for tests).
 func (q *QP) ExpectedPSN() uint32 { return q.ePSN }
+
+// SetExpectedPSN forces the responder's next expected PSN — the rq_psn
+// attribute of a real ModifyQP call, used when the two ends agree on a
+// starting PSN other than zero.
+func (q *QP) SetExpectedPSN(v uint32) { q.ePSN = v & verbs.PSNMask }
 
 // pendingOp is a request admitted to the RX ring awaiting execution.
 type pendingOp struct {
@@ -184,6 +190,10 @@ func (n *NIC) CreateQP(mode PSNMode) *QP {
 
 // LookupRegion returns the region registered under rkey, or nil.
 func (n *NIC) LookupRegion(rkey uint32) *Region { return n.regions[rkey] }
+
+// LookupQP returns the responder queue pair numbered qpn, or nil — the
+// control-plane handle for per-QP attributes (ExpectedPSN, SetExpectedPSN).
+func (n *NIC) LookupQP(qpn uint32) *QP { return n.qps[qpn] }
 
 // Fail simulates a server crash: from now on the NIC neither processes nor
 // answers anything. Recover brings it back (state intact — a reboot would
@@ -335,12 +345,12 @@ func (n *NIC) admitPSN(qp *QP, pkt *wire.Packet) bool {
 	switch {
 	case psn == qp.ePSN:
 		qp.nakked = false
-		qp.ePSN = (qp.ePSN + n.psnConsumed(pkt)) & 0xFFFFFF
+		qp.ePSN = (qp.ePSN + n.psnConsumed(pkt)) & verbs.PSNMask
 		return true
 	case psnAfter(psn, qp.ePSN): // gap: requests were lost
 		n.Stats.SeqGaps++
 		if qp.Mode == PSNTolerant {
-			qp.ePSN = (psn + n.psnConsumed(pkt)) & 0xFFFFFF
+			qp.ePSN = (psn + n.psnConsumed(pkt)) & verbs.PSNMask
 			return true
 		}
 		if !qp.nakked {
@@ -384,10 +394,11 @@ func (n *NIC) psnConsumed(pkt *wire.Packet) uint32 {
 	return 1
 }
 
-// psnAfter reports whether a comes strictly after b in 24-bit sequence space.
-func psnAfter(a, b uint32) bool {
-	return a != b && (a-b)&0xFFFFFF < 1<<23
-}
+// psnAfter reports whether a comes strictly after b in 24-bit sequence
+// space. One definition serves both sides of the wire: the switch transport
+// (verbs.QP completion matching, Retransmitter window arithmetic) and this
+// responder negotiate completion semantics over the same comparison.
+func psnAfter(a, b uint32) bool { return verbs.PSNAfter(a, b) }
 
 // executeNext drains one RX ring (writes+atomics or reads) under the NIC's
 // rate caps.
@@ -486,7 +497,7 @@ func (n *NIC) completeWrite(qp *QP, op *pendingOp) {
 	n.Stats.WriteBytes += int64(len(op.payload))
 	if opc := op.pkt.BTH.Opcode; opc == wire.OpWriteOnly || opc == wire.OpWriteLast {
 		n.Stats.ExecWrites++
-		qp.msn = (qp.msn + 1) & 0xFFFFFF
+		qp.msn = (qp.msn + 1) & verbs.PSNMask
 		if op.pkt.BTH.AckReq {
 			n.sendAck(qp, op.pkt.BTH.PSN)
 		}
@@ -503,7 +514,7 @@ func (n *NIC) completeRead(qp *QP, op *pendingOp) {
 	}
 	n.Stats.ExecReads++
 	n.Stats.ReadBytes += int64(total)
-	qp.msn = (qp.msn + 1) & 0xFFFFFF
+	qp.msn = (qp.msn + 1) & verbs.PSNMask
 	data := r.Slice(op.pkt.RETH.VA, total)
 	// Segment into MTU-sized response packets. Response PSNs start at the
 	// request's PSN (IB RC rule).
@@ -528,7 +539,7 @@ func (n *NIC) completeRead(qp *QP, op *pendingOp) {
 		default:
 			opc = wire.OpReadResponseMiddle
 		}
-		params := n.roceParams(qp, (op.pkt.BTH.PSN+uint32(i))&0xFFFFFF)
+		params := n.roceParams(qp, (op.pkt.BTH.PSN+uint32(i))&verbs.PSNMask)
 		n.scheduleResponse(qp, wire.BuildReadResponseInto(wire.DefaultPool, &params, opc, qp.msn, data[lo:hi]))
 	}
 }
@@ -551,7 +562,7 @@ func (n *NIC) completeAtomic(qp *QP, op *pendingOp) {
 		}
 	}
 	n.Stats.ExecAtomics++
-	qp.msn = (qp.msn + 1) & 0xFFFFFF
+	qp.msn = (qp.msn + 1) & verbs.PSNMask
 	qp.rememberAtomic(op.pkt.BTH.PSN, orig)
 	params := n.roceParams(qp, op.pkt.BTH.PSN)
 	n.scheduleResponse(qp, wire.BuildAtomicAckInto(wire.DefaultPool, &params, qp.msn, orig))

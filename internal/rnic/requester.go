@@ -3,6 +3,7 @@ package rnic
 import (
 	"fmt"
 
+	"gem/internal/core/verbs"
 	"gem/internal/fifo"
 	"gem/internal/sim"
 	"gem/internal/wire"
@@ -147,7 +148,7 @@ func (r *Requester) transmit(wr *workRequest) bool {
 			return false
 		}
 		wr.firstPSN = r.sPSN
-		wr.lastPSN = (r.sPSN + uint32(pkts) - 1) & 0xFFFFFF
+		wr.lastPSN = (r.sPSN + uint32(pkts) - 1) & verbs.PSNMask
 		for i := 0; i < pkts; i++ {
 			lo := i * mtu
 			hi := lo + mtu
@@ -155,7 +156,7 @@ func (r *Requester) transmit(wr *workRequest) bool {
 				hi = len(wr.data)
 			}
 			chunk := wr.data[lo:hi]
-			p := r.params((r.sPSN+uint32(i))&0xFFFFFF, i == pkts-1)
+			p := r.params((r.sPSN+uint32(i))&verbs.PSNMask, i == pkts-1)
 			var frame []byte
 			switch {
 			case pkts == 1:
@@ -167,21 +168,21 @@ func (r *Requester) transmit(wr *workRequest) bool {
 			default:
 				frame = wire.BuildWriteMiddleInto(wire.DefaultPool, &p, chunk)
 			}
-			r.send((r.sPSN+uint32(i))&0xFFFFFF, frame, wr)
+			r.send((r.sPSN+uint32(i))&verbs.PSNMask, frame, wr)
 		}
-		r.sPSN = (r.sPSN + uint32(pkts)) & 0xFFFFFF
+		r.sPSN = (r.sPSN + uint32(pkts)) & verbs.PSNMask
 	case wire.OpReadRequest:
 		pkts := (wr.length + mtu - 1) / mtu
 		if pkts < 1 {
 			pkts = 1
 		}
 		wr.firstPSN = r.sPSN
-		wr.lastPSN = (r.sPSN + uint32(pkts) - 1) & 0xFFFFFF
+		wr.lastPSN = (r.sPSN + uint32(pkts) - 1) & verbs.PSNMask
 		wr.buf = make([]byte, wr.length)
 		p := r.params(r.sPSN, true)
 		frame := wire.BuildReadRequestInto(wire.DefaultPool, &p, wr.va, wr.rkey, uint32(wr.length))
 		r.send(r.sPSN, frame, wr)
-		r.sPSN = (r.sPSN + uint32(pkts)) & 0xFFFFFF
+		r.sPSN = (r.sPSN + uint32(pkts)) & verbs.PSNMask
 	case wire.OpFetchAdd, wire.OpCompareSwap:
 		wr.firstPSN = r.sPSN
 		wr.lastPSN = r.sPSN
@@ -193,7 +194,7 @@ func (r *Requester) transmit(wr *workRequest) bool {
 			frame = wire.BuildCompareSwapInto(wire.DefaultPool, &p, wr.va, wr.rkey, wr.compare, wr.add)
 		}
 		r.send(r.sPSN, frame, wr)
-		r.sPSN = (r.sPSN + 1) & 0xFFFFFF
+		r.sPSN = (r.sPSN + 1) & verbs.PSNMask
 	default:
 		panic(fmt.Sprintf("rnic: unsupported requester opcode %v", wr.opcode))
 	}
@@ -305,8 +306,8 @@ func (r *Requester) handleReadResponse(pkt *wire.Packet) {
 		if wr.opcode != wire.OpReadRequest || wr.done {
 			continue
 		}
-		span := (wr.lastPSN - wr.firstPSN) & 0xFFFFFF
-		off := (pkt.BTH.PSN - wr.firstPSN) & 0xFFFFFF
+		span := (wr.lastPSN - wr.firstPSN) & verbs.PSNMask
+		off := (pkt.BTH.PSN - wr.firstPSN) & verbs.PSNMask
 		if off > span {
 			continue
 		}

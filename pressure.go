@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"gem/internal/core"
+	"gem/internal/core/verbs"
 )
 
 // PressureTier is the coarse remote-memory health signal.
@@ -328,6 +329,10 @@ type StatsSnapshot struct {
 	PressureTierRaises int64
 	PressureTierDrops  int64
 	PressureGlobalTier int
+
+	// Transport folds every primitive's work-queue counters into one block:
+	// posted/completed/stale/retried/refused/expired per operation type.
+	Transport verbs.Stats
 }
 
 // Add merges another snapshot into a copy of s, for aggregating across
@@ -369,6 +374,7 @@ func (s StatsSnapshot) Add(o StatsSnapshot) StatsSnapshot {
 	if o.PressureGlobalTier > r.PressureGlobalTier {
 		r.PressureGlobalTier = o.PressureGlobalTier
 	}
+	r.Transport = r.Transport.Add(o.Transport)
 	return r
 }
 
@@ -416,6 +422,7 @@ func (tb *Testbed) Stats() StatsSnapshot {
 			snap.Reconciles += v.Stats.Reconciles
 			snap.DegradedUpdates += v.Stats.DegradedUpdates
 			snap.ShedUpdates += v.Stats.ShedUpdates
+			snap.Transport = snap.Transport.Add(v.Transport().Stats)
 		case *core.LookupTable:
 			if seen[h] {
 				return
@@ -426,6 +433,7 @@ func (tb *Testbed) Stats() StatsSnapshot {
 			snap.DegradedMisses += v.Stats.DegradedMisses
 			snap.ShedMisses += v.Stats.ShedMisses
 			snap.CreditFallbacks += v.Stats.CreditFallbacks
+			snap.Transport = snap.Transport.Add(v.Transport().Stats)
 		case *core.PacketBuffer:
 			if seen[h] {
 				return
@@ -436,6 +444,9 @@ func (tb *Testbed) Stats() StatsSnapshot {
 			snap.DegradedBypassed += v.Stats.DegradedBypassed
 			snap.ShedFrames += v.Stats.ShedLowPrio
 			snap.PressureBypassed += v.Stats.PressureBypassed
+			for i := 0; i < v.Channels(); i++ {
+				snap.Transport = snap.Transport.Add(v.Transport(i).Stats)
+			}
 		}
 	}
 	for _, h := range tb.Dispatcher.Handlers() {
