@@ -31,7 +31,7 @@ import (
 
 func main() {
 	runList := flag.String("run", "all",
-		"comma-separated experiment ids (E1..E7, E8a..E8f, E9, E10) or 'all'")
+		"comma-separated experiment ids (E1..E7, E8a..E8f, E9, E10, E11) or 'all'")
 	quick := flag.Bool("quick", false, "reduced parameters for a fast smoke run")
 	snapshot := flag.String("snapshot", "",
 		"write the E10 run's aggregated robustness counters as JSON to this file")
@@ -46,7 +46,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *runList == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8A", "E8B", "E8C", "E8D", "E8E", "E8F", "E9", "E10"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8A", "E8B", "E8C", "E8D", "E8E", "E8F", "E9", "E10", "E11"} {
 			want[id] = true
 		}
 	} else {
@@ -178,6 +178,10 @@ func main() {
 			e10Mu.Lock()
 			e10Res = &res
 			e10Mu.Unlock()
+			return t
+		}},
+		{"E11", func() *harness.Table {
+			t, _ := harness.RunE11(harness.DefaultE11Config())
 			return t
 		}},
 	}

@@ -52,7 +52,10 @@ const rootPackage = "gem"
 // hotallocScope are the designated allocation-free hot-path packages. The
 // verbs transport is on every primitive's post and completion path, so it
 // carries the same zero-allocation contract as the wire layer (WQEs come
-// from a freelist, reassembly reuses one scratch buffer).
+// from a freelist, reassembly reuses one scratch buffer). That covers the
+// striping fan-out (striped.go) and the doorbell pending ring (doorbell.go)
+// too: deferred posting runs once per pipeline pass, so a defer or flush
+// that allocated would be as hot as a post.
 var hotallocScope = []string{
 	"gem/internal/wire", "gem/internal/switchsim", "gem/internal/rnic",
 	"gem/internal/core/verbs",

@@ -82,6 +82,13 @@ type (
 	// transport every primitive posts through (introspection via the
 	// primitives' Transport accessors).
 	QP = verbs.QP
+	// StripedQP is one logical work queue sharded over several servers'
+	// QPs by key (modulo placement, per-shard credit windows and failover
+	// domains, merged completions and stats).
+	StripedQP = verbs.StripedQP
+	// DoorbellConfig tunes a QP's doorbell-batched posting ring (deferred
+	// FAAs coalescing until a size / age / delta trigger flushes them).
+	DoorbellConfig = verbs.DoorbellConfig
 	// TransportStats is a QP's counter block — posted / completed / stale /
 	// retried / refused / expired per operation type, Add-mergeable.
 	// Testbed.Stats aggregates it as StatsSnapshot.Transport.
@@ -104,8 +111,14 @@ var (
 	NewPacketBuffer = core.NewPacketBuffer
 	// NewLookupTable wires the lookup-table primitive to a channel.
 	NewLookupTable = core.NewLookupTable
+	// NewStripedLookupTable stripes the table's entries over several
+	// servers' channels (entry idx mod N is its home shard).
+	NewStripedLookupTable = core.NewStripedLookupTable
 	// NewStateStore wires the state-store primitive to a channel.
 	NewStateStore = core.NewStateStore
+	// NewStripedStateStore stripes the counters over several servers'
+	// channels (counter idx mod N is its home shard).
+	NewStripedStateStore = core.NewStripedStateStore
 	// NewRetransmitter wraps a channel with ACK/NAK-driven recovery.
 	NewRetransmitter = core.NewRetransmitter
 	// NewFailover builds a primary+standby channel group with data-plane
@@ -117,6 +130,9 @@ var (
 	DropAction     = core.DropAction
 	// PopulateLookupEntry installs an action server-side at init time.
 	PopulateLookupEntry = core.PopulateLookupEntry
+	// PopulateStripedLookupEntry is its striped form: idx mod N picks the
+	// region, idx div N the slot.
+	PopulateStripedLookupEntry = core.PopulateStripedLookupEntry
 	// FlowOf extracts the 5-tuple of a parsed packet.
 	FlowOf = wire.FlowOf
 )

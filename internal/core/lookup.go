@@ -125,11 +125,13 @@ type LookupStats struct {
 
 // LookupTable is the lookup-table primitive (§4): a match-action table in
 // remote DRAM, indexed by a hash of the packet's 5-tuple, consulted from
-// the data plane on a local-table miss.
+// the data plane on a local-table miss. With N channels the entry space
+// stripes over them (entry i homes on server i mod N), which is how the
+// §2.2 million-entry tables outgrow a single server's region.
 type LookupTable struct {
-	ch  *Channel
-	sw  *switchsim.Switch
-	cfg LookupConfig
+	chans []*Channel
+	sw    *switchsim.Switch
+	cfg   LookupConfig
 
 	cache *switchsim.CacheTable[wire.FlowKey, LookupAction]
 
@@ -150,14 +152,16 @@ type LookupTable struct {
 	// keyed by table index, until the parked packet comes around again.
 	pendingActions map[int]LookupAction
 
-	// credits is the miss admission window (nil when MaxOutstandingMisses
-	// is 0). qp is the work queue over the channel: it correlates READ
-	// responses to in-flight lookups by request PSN (the recirculation
-	// variant additionally indexes them by table index as the WQE token),
-	// releases each miss credit exactly once, and reaps lookups whose
-	// answers never arrived.
-	credits *Credits
-	qp      *verbs.QP
+	// credits are the per-channel miss admission windows (nil when
+	// MaxOutstandingMisses is 0). striped is the work queue over the
+	// channels: an entry's home shard correlates READ responses to
+	// in-flight lookups by request PSN (the recirculation variant
+	// additionally indexes them by table index as the WQE token), releases
+	// each miss credit exactly once, and reaps lookups whose answers never
+	// arrived.
+	credits []*Credits
+	striped *verbs.StripedQP
+	byQPN   map[uint32]int // channel QPN → shard, for response routing
 
 	Stats LookupStats
 }
@@ -165,36 +169,57 @@ type LookupTable struct {
 // NewLookupTable wires the primitive to channel ch. The channel's region
 // must hold cfg.Entries entries of cfg.EntrySize() bytes.
 func NewLookupTable(ch *Channel, cfg LookupConfig) (*LookupTable, error) {
+	return NewStripedLookupTable([]*Channel{ch}, cfg)
+}
+
+// NewStripedLookupTable wires the primitive across chans (one per memory
+// server): entry i homes on chans[i mod N] at offset (i div N)*EntrySize,
+// so each region must hold ceil(Entries/N) entries.
+func NewStripedLookupTable(chans []*Channel, cfg LookupConfig) (*LookupTable, error) {
 	cfg.fillDefaults()
+	if len(chans) == 0 {
+		return nil, fmt.Errorf("core: lookup table needs at least one channel")
+	}
 	if cfg.Entries <= 0 {
 		return nil, fmt.Errorf("core: lookup table needs a positive entry count")
 	}
-	if need := cfg.Entries * cfg.EntrySize(); need > ch.Size {
-		return nil, fmt.Errorf("core: lookup table needs %d bytes, region has %d", need, ch.Size)
+	perShard := (cfg.Entries + len(chans) - 1) / len(chans)
+	for _, ch := range chans {
+		if need := perShard * cfg.EntrySize(); need > ch.Size {
+			return nil, fmt.Errorf("core: lookup table needs %d bytes, region has %d", need, ch.Size)
+		}
 	}
 	t := &LookupTable{
-		ch: ch, sw: ch.sw, cfg: cfg,
+		chans: chans, sw: chans[0].sw, cfg: cfg,
 		pendingActions: make(map[int]LookupAction),
+		byQPN:          make(map[uint32]int, len(chans)),
 	}
-	if cfg.MaxOutstandingMisses > 0 {
-		t.credits = ch.EnsureCredits(CreditConfig{
-			Window: cfg.MaxOutstandingMisses, Low: cfg.MissLowWatermark,
-			Unlimited: cfg.UnlimitedWindow,
+	qps := make([]*verbs.QP, len(chans))
+	for i, ch := range chans {
+		t.byQPN[ch.ID] = i
+		var cr *Credits
+		if cfg.MaxOutstandingMisses > 0 {
+			cr = ch.EnsureCredits(CreditConfig{
+				Window: cfg.MaxOutstandingMisses, Low: cfg.MissLowWatermark,
+				Unlimited: cfg.UnlimitedWindow,
+			})
+			t.credits = append(t.credits, cr)
+		}
+		qps[i] = verbs.NewQP(ch, cr, verbs.QPConfig{
+			// The recirculation variant dedups concurrent fetches per table
+			// index, so the index doubles as the WQE token.
+			TokenIndex: cfg.Mode == LookupRecirculate,
+			Reap:       true,
+			Timeout:    cfg.MissTimeout,
+			OnExpired:  func(verbs.OpType, uint64) { t.Stats.MissTimeouts++ },
 		})
 	}
-	t.qp = verbs.NewQP(ch, t.credits, verbs.QPConfig{
-		// The recirculation variant dedups concurrent fetches per table
-		// index, so the index doubles as the WQE token.
-		TokenIndex: cfg.Mode == LookupRecirculate,
-		Reap:       true,
-		Timeout:    cfg.MissTimeout,
-		OnExpired:  func(verbs.OpType, uint64) { t.Stats.MissTimeouts++ },
-	})
+	t.striped = verbs.NewStriped(qps, verbs.StripeConfig{EntrySize: cfg.EntrySize()})
 	t.Apply = t.ApplyDefault
 	if cfg.CacheEntries > 0 {
 		// A cached entry costs key (13B) + action (8B) ≈ 24B of SRAM.
 		cache, err := switchsim.NewCacheTable[wire.FlowKey, LookupAction](
-			ch.sw.SRAM, fmt.Sprintf("lookup%d/cache", ch.ID), cfg.CacheEntries, 24)
+			t.sw.SRAM, fmt.Sprintf("lookup%d/cache", chans[0].ID), cfg.CacheEntries, 24)
 		if err != nil {
 			return nil, err
 		}
@@ -206,17 +231,26 @@ func NewLookupTable(ch *Channel, cfg LookupConfig) (*LookupTable, error) {
 // Config returns the effective configuration.
 func (t *LookupTable) Config() LookupConfig { return t.cfg }
 
-// Channel returns the RDMA channel the table runs over.
-func (t *LookupTable) Channel() *Channel { return t.ch }
+// Channel returns the table's first (or only) RDMA channel.
+func (t *LookupTable) Channel() *Channel { return t.chans[0] }
+
+// Channels reports the table's shard count.
+func (t *LookupTable) Channels() int { return len(t.chans) }
 
 // Cache exposes the local cache (nil when disabled).
 func (t *LookupTable) Cache() *switchsim.CacheTable[wire.FlowKey, LookupAction] { return t.cache }
 
-// Credits exposes the miss admission window (nil when disabled).
-func (t *LookupTable) Credits() *Credits { return t.credits }
+// Credits exposes shard 0's miss admission window (nil when disabled).
+func (t *LookupTable) Credits() *Credits {
+	if len(t.credits) == 0 {
+		return nil
+	}
+	return t.credits[0]
+}
 
-// Transport exposes the table's work queue for introspection (gem.Stats).
-func (t *LookupTable) Transport() *verbs.QP { return t.qp }
+// Transport exposes the table's striped work queue for introspection
+// (gem.Stats, per-shard tests).
+func (t *LookupTable) Transport() *verbs.StripedQP { return t.striped }
 
 // SetDegraded switches the table between normal operation and the CPU
 // slow-path degraded mode (no remote traffic while degraded).
@@ -262,9 +296,10 @@ func (t *LookupTable) LookupPrio(ctx *switchsim.Context, frame []byte, pkt *wire
 		return
 	}
 	idx := key.Index(t.cfg.Entries)
-	if t.credits != nil && t.needsMissRead(idx) {
-		t.qp.ReapExpired()
-		if !t.qp.TryReserve(verbs.OpRead) {
+	home := t.striped.Home(uint64(idx))
+	if len(t.credits) > 0 && t.needsMissRead(idx) {
+		home.ReapExpired()
+		if !home.TryReserve(verbs.OpRead) {
 			if prio == switchsim.PriorityLow {
 				t.Stats.ShedMisses++
 				ctx.DropFrame(frame)
@@ -308,7 +343,7 @@ func (t *LookupTable) needsMissRead(idx int) bool {
 		if _, ok := t.pendingActions[idx]; ok {
 			return false
 		}
-		return !t.qp.TokenPending(uint64(idx))
+		return !t.striped.TokenPending(uint64(idx))
 	}
 	return true
 }
@@ -318,18 +353,17 @@ func (t *LookupTable) needsMissRead(idx int) bool {
 func (t *LookupTable) depositAndFetch(ctx *switchsim.Context, frame []byte, idx int) {
 	if len(frame) > t.cfg.MaxPktBytes {
 		t.Stats.BadEntries++
-		t.qp.DropReservation()
+		t.striped.Home(uint64(idx)).DropReservation()
 		ctx.Drop()
 		return
 	}
-	base := idx * t.cfg.EntrySize()
 	// Scratch deposit buffer: the WRITE post copies it into the request
 	// frame, so it goes straight back to the pool.
 	deposit := wire.DefaultPool.Get(2 + len(frame))
 	deposit[0] = byte(len(frame) >> 8)
 	deposit[1] = byte(len(frame))
 	copy(deposit[2:], frame)
-	t.qp.PostWrite(base+8, deposit) // after the 8-byte action field
+	t.striped.PostWrite(uint64(idx), 8, deposit) // after the 8-byte action field
 	wire.DefaultPool.Put(deposit)
 	t.Stats.Deposits++
 	// CreditLoose: the fetch goes out whether or not a credit is held — the
@@ -337,7 +371,8 @@ func (t *LookupTable) depositAndFetch(ctx *switchsim.Context, frame []byte, idx 
 	// the READ was refused downstream (egress full), the reaper releases the
 	// credit after MissTimeout — self-healing either way.
 	n := t.cfg.EntrySize()
-	t.qp.PostRead(uint64(idx), base, n, t.ch.RespPackets(n), verbs.CreditLoose)
+	ch := t.chans[t.striped.ShardOf(uint64(idx))]
+	t.striped.PostRead(uint64(idx), n, ch.RespPackets(n), verbs.CreditLoose)
 	ctx.Drop() // original is gone: it lives in remote memory now
 }
 
@@ -355,12 +390,11 @@ func (t *LookupTable) recircFetch(ctx *switchsim.Context, frame []byte, idx, pas
 		ctx.Drop()
 		return
 	}
-	if !t.qp.TokenPending(uint64(idx)) {
+	if !t.striped.TokenPending(uint64(idx)) {
 		// CreditAdmit: consume the admission reservation (or take a fresh
 		// credit on a re-issue after a reap); a refusal skips the fetch and
 		// the parked packet simply comes around again.
-		base := idx * t.cfg.EntrySize()
-		t.qp.PostRead(uint64(idx), base, 8, 1, verbs.CreditAdmit)
+		t.striped.PostRead(uint64(idx), 8, 1, verbs.CreditAdmit)
 	}
 	t.Stats.RecircPasses++
 	t.sw.Stats.Recirculated++
@@ -394,8 +428,18 @@ func (t *LookupTable) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) {
 	// First/Only response packets echo the request PSN; complete the miss
 	// the moment the answer lands, well-formed or not, releasing its credit.
 	// Middle/Last continuation packets (multi-packet deposit responses) and
-	// answers to already-reaped lookups simply miss the work queue.
-	cqe, matched := t.qp.CompleteExact(pkt.BTH.PSN)
+	// answers to already-reaped lookups simply miss the work queue. The
+	// echoed destination QPN routes the completion to its shard; a
+	// single-channel table tolerates responses from a rebound-away channel,
+	// a striped one skips completion for QPNs it no longer owns (PSN spaces
+	// are per-channel, so a cross-shard match would be a false retire).
+	var cqe verbs.CQE
+	matched := false
+	if si, ok := t.byQPN[pkt.BTH.DestQP]; ok {
+		cqe, matched = t.striped.Shard(si).CompleteExact(pkt.BTH.PSN)
+	} else if len(t.chans) == 1 {
+		cqe, matched = t.striped.Shard(0).CompleteExact(pkt.BTH.PSN)
+	}
 	payload := pkt.Payload
 	if len(payload) < 8 {
 		t.Stats.BadEntries++
@@ -505,6 +549,23 @@ func PopulateLookupEntry(region *rnic.Region, cfg LookupConfig, idx int, action 
 	cfg.fillDefaults()
 	base := idx * cfg.EntrySize()
 	if idx < 0 || base+8 > len(region.Data) {
+		return fmt.Errorf("core: lookup entry %d outside region", idx)
+	}
+	copy(region.Data[base:base+8], action[:])
+	return nil
+}
+
+// PopulateStripedLookupEntry writes an action into global entry idx of a
+// striped table, placing it by the same modulo rule the transport uses:
+// regions[idx mod N] at offset (idx div N)*EntrySize.
+func PopulateStripedLookupEntry(regions []*rnic.Region, cfg LookupConfig, idx int, action LookupAction) error {
+	cfg.fillDefaults()
+	if len(regions) == 0 || idx < 0 {
+		return fmt.Errorf("core: lookup entry %d outside region", idx)
+	}
+	region := regions[idx%len(regions)]
+	base := (idx / len(regions)) * cfg.EntrySize()
+	if base+8 > len(region.Data) {
 		return fmt.Errorf("core: lookup entry %d outside region", idx)
 	}
 	copy(region.Data[base:base+8], action[:])

@@ -86,9 +86,9 @@ func TestPacketBufferAcrossPSNWrap(t *testing.T) {
 	if pb.Stats.StaleResponses != 0 {
 		t.Fatalf("exact matching broke at the wrap: %d stale responses", pb.Stats.StaleResponses)
 	}
-	for i, qp := range pb.qps {
-		if qp.Pending() != 0 {
-			t.Fatalf("channel %d transport still holds %d WQEs", i, qp.Pending())
+	for i := 0; i < pb.Channels(); i++ {
+		if p := pb.Transport(i).Pending(); p != 0 {
+			t.Fatalf("channel %d transport still holds %d WQEs", i, p)
 		}
 	}
 }

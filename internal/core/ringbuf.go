@@ -128,9 +128,9 @@ type PacketBufferStats struct {
 // The ring may be striped over several channels — "one or multiple servers"
 // in §2.1 — because once detouring, the ordering rule sends the full
 // arrival rate through the memory links: an n:1 incast at line rate needs
-// about n server links of remote-buffer bandwidth. Entries stripe
-// round-robin; a small switch-side reorder stage (bounded by the
-// outstanding-read window) restores global order across channels.
+// about n server links of remote-buffer bandwidth. Placement lives in the
+// striped transport (verbs.StripedQP): consecutive entries alternate
+// servers and each shard's slot index advances like a private ring.
 //
 // Since the work-queue refactor the buffer is a thin consumer of the verbs
 // transport: it decides *what* to spill and load (cursors, watermarks,
@@ -148,8 +148,8 @@ type PacketBuffer struct {
 	perChan int // entries per channel
 	total   int // total ring entries
 
-	// Ring cursors are monotonically increasing; entry g lives on channel
-	// g % len(chans) at slot (g / len(chans)) % perChan.
+	// Ring cursors are monotonically increasing; the striped transport owns
+	// entry placement (home channel and slot offset derived from g).
 	// tail: next entry to write; readNext: next to request;
 	// emitNext: next to forward (order restoration point).
 	cursors *switchsim.RegisterArray // 0=tail 1=readNext 2=emitNext
@@ -163,10 +163,10 @@ type PacketBuffer struct {
 
 	byQPN map[uint32]int // channel ID → index in chans
 
-	// qps holds each channel's work queue (exact-PSN completion, token =
-	// ring entry, repost-style recovery); the QP owns the channel's
-	// admission window (ch.EnsureCredits), one credit per in-flight READ.
-	qps []*verbs.QP
+	// striped shards the work queue across the channels: per-shard QPs with
+	// private admission windows (one credit per in-flight READ), token =
+	// ring entry, merged behind one post/complete surface.
+	striped *verbs.StripedQP
 	// spillGated tracks the per-channel spill gate (SpillHighWaterBytes
 	// hysteresis on the memory-link egress queue).
 	spillGated []bool
@@ -217,16 +217,16 @@ func NewPacketBuffer(chans []*Channel, outPort int, cfg PacketBufferConfig) (*Pa
 		cursors:    regs,
 		byQPN:      make(map[uint32]int, len(chans)),
 		reorder:    make(map[uint64][]byte),
-		qps:        make([]*verbs.QP, len(chans)),
 		spillGated: make([]bool, len(chans)),
 	}
+	qps := make([]*verbs.QP, len(chans))
 	for i, ch := range chans {
 		b.byQPN[ch.ID] = i
 		credits := ch.EnsureCredits(CreditConfig{
 			Window: cfg.PerChannelWindow, Low: cfg.ReadLowWatermark,
 			Unlimited: cfg.UnlimitedWindow,
 		})
-		b.qps[i] = verbs.NewQP(ch, credits, verbs.QPConfig{
+		qps[i] = verbs.NewQP(ch, credits, verbs.QPConfig{
 			TokenIndex: true,
 			Timeout:    cfg.ReadTimeout,
 			// Progress guarantee: if a response is lost and the egress goes
@@ -235,6 +235,9 @@ func NewPacketBuffer(chans []*Channel, outPort int, cfg PacketBufferConfig) (*Pa
 			KickDelay: cfg.ReadTimeout + sim.Microsecond,
 		})
 	}
+	b.striped = verbs.NewStriped(qps, verbs.StripeConfig{
+		EntrySize: cfg.EntrySize, SlotsPerShard: perChan,
+	})
 	return b, nil
 }
 
@@ -284,29 +287,37 @@ func (b *PacketBuffer) SetDegraded(on bool) {
 // Degraded reports whether spilling is suspended.
 func (b *PacketBuffer) Degraded() bool { return b.degraded }
 
-func (b *PacketBuffer) channelOf(g uint64) (*Channel, int, int) {
-	c := int(g % uint64(len(b.chans)))
-	slot := int(g/uint64(len(b.chans))) % b.perChan
-	return b.chans[c], c, slot * b.cfg.EntrySize
-}
-
 // ChannelCredits exposes channel i's admission window for introspection.
-func (b *PacketBuffer) ChannelCredits(i int) *Credits { return b.qps[i].Credits() }
+func (b *PacketBuffer) ChannelCredits(i int) *Credits { return b.striped.Shard(i).Credits() }
 
 // Transport exposes channel i's work queue for introspection (gem.Stats).
-func (b *PacketBuffer) Transport(i int) *verbs.QP { return b.qps[i] }
+func (b *PacketBuffer) Transport(i int) *verbs.QP { return b.striped.Shard(i) }
 
 // Channels reports how many channels stripe the ring.
 func (b *PacketBuffer) Channels() int { return len(b.chans) }
 
-// pendingReads sums in-flight READs across all channel QPs (the global
-// MaxOutstandingReads bound spans channels).
-func (b *PacketBuffer) pendingReads() int {
-	n := 0
-	for _, qp := range b.qps {
-		n += qp.Pending()
+// RebindChannel points stripe shard i at a replacement channel without
+// disturbing its siblings: in-flight READs migrate (credits move
+// window-to-window, entries repost in global order so PSN assignment stays
+// reproducible). READs are idempotent, so reposting them is always safe;
+// responses still arriving from the old server complete as stale.
+func (b *PacketBuffer) RebindChannel(i int, ch *Channel) {
+	old := b.chans[i]
+	delete(b.byQPN, old.ID)
+	b.byQPN[ch.ID] = i
+	b.chans[i] = ch
+	credits := ch.EnsureCredits(CreditConfig{
+		Window: b.cfg.PerChannelWindow, Low: b.cfg.ReadLowWatermark,
+		Unlimited: b.cfg.UnlimitedWindow,
+	})
+	moved := b.striped.Shard(i).Retarget(ch, credits, nil)
+	slices.Sort(moved)
+	for _, g := range moved {
+		if b.striped.Repost(g) {
+			b.Stats.ReadRetries++
+		}
 	}
-	return n
+	b.maybeLoad()
 }
 
 // ChannelOccupancyBytes reports the bytes channel i's ring region currently
@@ -323,7 +334,7 @@ func (b *PacketBuffer) ChannelOccupancyBytes(i int) int64 {
 // remote ring right now, updating the per-channel spill gate's hysteresis
 // for the channel the next entry would land on.
 func (b *PacketBuffer) spillAllowed(prio switchsim.Priority) bool {
-	_, c, _ := b.channelOf(b.cursors.Get(regTail))
+	c := b.striped.ShardOf(b.cursors.Get(regTail))
 	if b.cfg.SpillHighWaterBytes > 0 {
 		q := b.sw.QueueBytes(b.chans[c].Port)
 		if !b.spillGated[c] && q >= b.cfg.SpillHighWaterBytes {
@@ -401,8 +412,7 @@ func (b *PacketBuffer) store(frame []byte) {
 	entry[0] = byte(len(frame) >> 8)
 	entry[1] = byte(len(frame))
 	copy(entry[2:], frame)
-	_, c, off := b.channelOf(tail)
-	ok := b.qps[c].PostWrite(off, entry)
+	ok := b.striped.PostWrite(tail, 0, entry)
 	wire.DefaultPool.Put(entry)
 	if !ok {
 		b.Stats.StoreFails++
@@ -422,15 +432,14 @@ func (b *PacketBuffer) maybeLoad() {
 	b.retryStale()
 	for b.detour && !b.paused &&
 		b.cursors.Get(regReadNext) < b.cursors.Get(regTail) &&
-		b.pendingReads() < b.cfg.MaxOutstandingReads &&
+		b.striped.Pending() < b.cfg.MaxOutstandingReads &&
 		b.sw.QueueBytes(b.OutPort) < b.cfg.LowWaterBytes {
 		g := b.cursors.Get(regReadNext)
-		ch, c, off := b.channelOf(g)
-		qp := b.qps[c]
-		if !qp.CanPost() {
+		if !b.striped.CanPost(g) {
 			return // channel window gated; responses will retrigger
 		}
-		if !qp.PostRead(g, off, b.cfg.EntrySize, ch.RespPackets(b.cfg.EntrySize), verbs.CreditTry) {
+		ch := b.chans[b.striped.ShardOf(g)]
+		if !b.striped.PostRead(g, b.cfg.EntrySize, ch.RespPackets(b.cfg.EntrySize), verbs.CreditTry) {
 			return // memory-link egress full; departures will retrigger
 		}
 		b.cursors.Set(regReadNext, g+1)
@@ -440,19 +449,16 @@ func (b *PacketBuffer) maybeLoad() {
 // retryStale re-issues READs whose responses were lost (request or
 // response dropped on a saturated path).
 func (b *PacketBuffer) retryStale() {
-	if b.paused || b.pendingReads() == 0 {
+	if b.paused || b.striped.Pending() == 0 {
 		return
 	}
 	// Retries issue READs, which consume PSNs: collect the timed-out entries
-	// from every channel QP and re-issue in entry order so the PSN
-	// assignment (and therefore the whole trace) is reproducible.
-	var stale []uint64
-	for _, qp := range b.qps {
-		stale = qp.AppendExpired(stale)
-	}
+	// from every shard and re-issue in entry order so the PSN assignment
+	// (and therefore the whole trace) is reproducible.
+	stale := b.striped.AppendExpired(nil)
 	slices.Sort(stale)
 	for _, g := range stale {
-		if b.qps[g%uint64(len(b.chans))].Repost(g) {
+		if b.striped.Repost(g) {
 			b.Stats.ReadRetries++
 		}
 	}
@@ -480,7 +486,7 @@ func (b *PacketBuffer) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) 
 		ctx.Drop()
 		return
 	}
-	cqe, entry, status := b.qps[c].ReadResponse(pkt)
+	cqe, entry, status := b.striped.Shard(c).ReadResponse(pkt)
 	switch status {
 	case verbs.CQDone:
 		b.finishEntry(ctx, cqe.Token, entry)
@@ -522,7 +528,7 @@ func (b *PacketBuffer) finishEntry(ctx *switchsim.Context, g uint64, entry []byt
 			ctx.Emit(b.OutPort, frame)
 		}
 	}
-	if b.Depth() == 0 && b.pendingReads() == 0 {
+	if b.Depth() == 0 && b.striped.Pending() == 0 {
 		// Ring drained: new packets may take the direct path again.
 		b.detour = false
 	} else {

@@ -11,13 +11,16 @@ import (
 
 // StateStoreConfig tunes the state-store primitive.
 type StateStoreConfig struct {
-	// Counters is the number of 8-byte counters in the remote region.
+	// Counters is the number of 8-byte counters across the remote region(s).
+	// With N channels the counter space stripes over them (counter i lives
+	// on server i mod N), so each region holds ceil(Counters/N) words.
 	Counters int
-	// MaxOutstanding caps in-flight Fetch-and-Add requests — "Since there
-	// is a maximum limit of outstanding RDMA atomic requests that an RNIC
-	// can handle, we design this primitive to maintain the number of
-	// outstanding requests" (§4). 0 = the channel's negotiated WindowHint
-	// (the NIC's advertised responder resources), falling back to 16.
+	// MaxOutstanding caps in-flight Fetch-and-Add requests per channel —
+	// "Since there is a maximum limit of outstanding RDMA atomic requests
+	// that an RNIC can handle, we design this primitive to maintain the
+	// number of outstanding requests" (§4). 0 = the channel's negotiated
+	// WindowHint (the NIC's advertised responder resources), falling back
+	// to 16.
 	MaxOutstanding int
 	// LowWatermark is the credit window's gate-release point: once the
 	// window gates at MaxOutstanding, issuing resumes only after in-flight
@@ -41,6 +44,15 @@ type StateStoreConfig struct {
 	// future work: "combine multiple counter updates into a single
 	// operation, at the cost of some delay in updates"). 1 = no batching.
 	Batch uint64
+	// Doorbell moves batching into the transport: updates defer into the
+	// per-shard doorbell ring, where same-counter deltas coalesce before
+	// any frame is built, and post when a delta reaches Batch, the ring
+	// fills, or DoorbellFlush elapses. Off = the immediate posting path
+	// (Batch applied per-counter at the head of the dirty queue).
+	Doorbell bool
+	// DoorbellFlush bounds a deferred delta's delay (the doorbell age
+	// trigger). Default 50µs when Doorbell is set.
+	DoorbellFlush sim.Duration
 	// OutstandingTimeout declares an unanswered FAA lost, releasing its
 	// outstanding slot (the switch "keeps track of RNIC progress").
 	OutstandingTimeout sim.Duration
@@ -54,6 +66,9 @@ func (c *StateStoreConfig) fillDefaults() {
 	}
 	if c.Batch == 0 {
 		c.Batch = 1
+	}
+	if c.Doorbell && c.DoorbellFlush == 0 {
+		c.DoorbellFlush = 50 * sim.Microsecond
 	}
 	if c.OutstandingTimeout == 0 {
 		c.OutstandingTimeout = 500 * sim.Microsecond
@@ -90,109 +105,161 @@ type StateStoreStats struct {
 //
 // Since the work-queue refactor the store is a thin consumer of the verbs
 // transport: it decides *what* to flush (accumulate, batch, shed) and posts
-// FAAs through its QP; PSN tracking, cumulative ACK matching, credit
-// release, and timeout reaping all live in the transport.
+// FAAs through a striped QP — counter i homes on shard i mod N, each shard
+// a private QP/credit window/retransmitter over one server's channel; PSN
+// tracking, cumulative ACK matching, credit release, timeout reaping, and
+// (in doorbell mode) delta coalescing all live in the transport.
 type StateStore struct {
-	ch  *Channel
-	sw  *switchsim.Switch
-	cfg StateStoreConfig
+	chans []*Channel
+	sw    *switchsim.Switch
+	cfg   StateStoreConfig
 
-	// qp is the store's work queue: cumulative completion (atomic ACKs
-	// retire every FAA at or before the echoed PSN) with the FIFO reaper
-	// standing in for RNIC-progress tracking on the lossy path.
-	qp *verbs.QP
+	// striped is the store's work-queue surface: cumulative completion per
+	// shard (atomic ACKs retire every FAA at or before the echoed PSN) with
+	// the FIFO reaper standing in for RNIC-progress tracking on the lossy
+	// path.
+	striped *verbs.StripedQP
 
-	// rt, when set, carries every FAA through the Retransmitter instead of
-	// the bare channel: loss recovery moves to the retransmit window, so the
+	// rts carries a shard's FAAs through a Retransmitter instead of the bare
+	// channel: loss recovery moves to the retransmit window, so that shard's
 	// lossy-path timeout reaper is disabled (nothing is ever "lost", only
 	// late). Wire responses as failover → rt → store.
-	rt *Retransmitter
+	rts []*Retransmitter
 
 	// degraded pauses the flush path: updates accumulate on the switch until
 	// Reconcile. This is the store's explicit failure posture while its
 	// server is known-dead and no standby remains.
 	degraded bool
 
-	// credits is the channel's shared admission window (ch.EnsureCredits):
-	// one credit per in-flight FAA, held and released by the QP.
-	credits *Credits
+	// credits are the per-channel shared admission windows (EnsureCredits):
+	// one credit per in-flight FAA, held and released by the shard's QP.
+	credits []*Credits
 
 	pending    map[int]uint64 // counter index → accumulated delta
-	dirty      []int          // FIFO of indexes with pending deltas
+	dirty      [][]int        // per-shard FIFO of indexes with pending deltas
 	pendingSum uint64
+	byQPN      map[uint32]int // channel QPN → shard, for response routing
 
 	Stats StateStoreStats
 }
 
-// NewStateStore wires the primitive to channel ch. The channel region must
+// NewStateStore wires the primitive to a single channel; the region must
 // hold cfg.Counters 8-byte words.
 func NewStateStore(ch *Channel, cfg StateStoreConfig) (*StateStore, error) {
+	return NewStripedStateStore([]*Channel{ch}, cfg)
+}
+
+// NewStripedStateStore wires the primitive across chans (one per memory
+// server): counter i homes on chans[i mod N] at offset (i div N)*8, so each
+// region must hold ceil(Counters/N) words and aggregate FAA throughput
+// scales with the per-server atomic ceilings.
+func NewStripedStateStore(chans []*Channel, cfg StateStoreConfig) (*StateStore, error) {
 	cfg.fillDefaults()
+	if len(chans) == 0 {
+		return nil, fmt.Errorf("core: state store needs at least one channel")
+	}
 	if cfg.Counters <= 0 {
 		return nil, fmt.Errorf("core: state store needs a positive counter count")
 	}
-	if need := cfg.Counters * 8; need > ch.Size {
-		return nil, fmt.Errorf("core: %d counters need %d bytes, region has %d",
-			cfg.Counters, need, ch.Size)
+	perShard := (cfg.Counters + len(chans) - 1) / len(chans)
+	for _, ch := range chans {
+		if need := perShard * 8; need > ch.Size {
+			return nil, fmt.Errorf("core: %d counters need %d bytes, region has %d",
+				perShard, need, ch.Size)
+		}
 	}
 	// The pending table is switch SRAM: index (4B) + delta (8B) + slack.
-	if err := ch.sw.SRAM.Alloc(fmt.Sprintf("statestore%d/pending", ch.ID), cfg.PendingSlots*16); err != nil {
+	if err := chans[0].sw.SRAM.Alloc(fmt.Sprintf("statestore%d/pending", chans[0].ID), cfg.PendingSlots*16); err != nil {
 		return nil, err
 	}
 	s := &StateStore{
-		ch: ch, sw: ch.sw, cfg: cfg,
+		chans: chans, sw: chans[0].sw, cfg: cfg,
 		pending: make(map[int]uint64, cfg.PendingSlots),
+		dirty:   make([][]int, len(chans)),
+		rts:     make([]*Retransmitter, len(chans)),
+		byQPN:   make(map[uint32]int, len(chans)),
 	}
-	s.credits = ch.EnsureCredits(CreditConfig{
-		Window: cfg.MaxOutstanding, Low: cfg.LowWatermark,
-		Unlimited: cfg.UnlimitedWindow,
-	})
+	qps := make([]*verbs.QP, len(chans))
+	for i, ch := range chans {
+		s.byQPN[ch.ID] = i
+		cr := ch.EnsureCredits(CreditConfig{
+			Window: cfg.MaxOutstanding, Low: cfg.LowWatermark,
+			Unlimited: cfg.UnlimitedWindow,
+		})
+		s.credits = append(s.credits, cr)
+		qps[i] = verbs.NewQP(ch, cr, verbs.QPConfig{
+			Cumulative: true,
+			Reap:       true,
+			Timeout:    cfg.OutstandingTimeout,
+			OnExpired:  func(verbs.OpType, uint64) { s.Stats.TimedOut++ },
+		})
+		if cfg.Doorbell {
+			qps[i].EnableDoorbell(verbs.DoorbellConfig{
+				MaxAge:     cfg.DoorbellFlush,
+				FlushDelta: cfg.Batch,
+			})
+		}
+	}
 	// Reflect the resolved window (WindowHint or credit default) back into
 	// the config so Config().MaxOutstanding reports the effective limit.
-	s.cfg.MaxOutstanding = s.credits.Config().Window
-	s.qp = verbs.NewQP(ch, s.credits, verbs.QPConfig{
-		Cumulative: true,
-		Reap:       true,
-		Timeout:    s.cfg.OutstandingTimeout,
-		OnExpired:  func(verbs.OpType, uint64) { s.Stats.TimedOut++ },
-	})
+	s.cfg.MaxOutstanding = s.credits[0].Config().Window
+	s.striped = verbs.NewStriped(qps, verbs.StripeConfig{EntrySize: 8})
 	return s, nil
 }
 
 // Config returns the effective configuration.
 func (s *StateStore) Config() StateStoreConfig { return s.cfg }
 
-// Channel returns the RDMA channel the store runs over.
-func (s *StateStore) Channel() *Channel { return s.ch }
+// Channel returns the store's first (or only) RDMA channel.
+func (s *StateStore) Channel() *Channel { return s.chans[0] }
 
-// Transport exposes the store's work queue for introspection (gem.Stats).
-func (s *StateStore) Transport() *verbs.QP { return s.qp }
+// Channels reports the store's shard count.
+func (s *StateStore) Channels() int { return len(s.chans) }
 
-// Rebind moves the store to a new channel (server failover). In-flight
-// requests to the old server are abandoned; locally accumulated updates are
-// preserved and will flush to the new server. Counts already committed to
-// the dead server's DRAM are lost — the caller accounts for them via the
-// old region if it ever comes back.
-func (s *StateStore) Rebind(ch *Channel) {
-	if need := s.cfg.Counters * 8; need > ch.Size {
+// Transport exposes the store's striped work queue for introspection
+// (gem.Stats, per-shard tests).
+func (s *StateStore) Transport() *verbs.StripedQP { return s.striped }
+
+// Rebind moves a single-channel store to a new channel (server failover);
+// striped stores rebind one shard at a time via RebindShard.
+func (s *StateStore) Rebind(ch *Channel) { s.RebindShard(0, ch) }
+
+// RebindShard moves shard si to a new channel without disturbing its
+// siblings. In-flight requests to the old server are abandoned; locally
+// accumulated updates — the pending table and any deltas deferred in the
+// shard's doorbell ring — are preserved and flush to the new server exactly
+// once (a doorbell entry leaves the ring the moment it posts, so a flush
+// trigger that straddles the rebind cannot double-post its delta). Counts
+// already committed to the dead server's DRAM are lost — the caller
+// accounts for them via the old region if it ever comes back.
+func (s *StateStore) RebindShard(si int, ch *Channel) {
+	perShard := (s.cfg.Counters + len(s.chans) - 1) / len(s.chans)
+	if need := perShard * 8; need > ch.Size {
 		panic(fmt.Sprintf("core: rebind target region too small: %d < %d", ch.Size, need))
 	}
 	// Abandoned in-flight FAAs return their credits to the old channel's
-	// window (nothing will ever answer them), then the store adopts the new
+	// window (nothing will ever answer them), then the shard adopts the new
 	// channel's window, carrying its configuration across.
-	s.qp.Abort()
-	s.ch = ch
-	s.credits = ch.EnsureCredits(s.credits.Config())
-	s.qp.Rebind(ch, s.credits)
+	qp := s.striped.Shard(si)
+	qp.Abort()
+	delete(s.byQPN, s.chans[si].ID)
+	s.chans[si] = ch
+	s.byQPN[ch.ID] = si
+	s.credits[si] = ch.EnsureCredits(s.credits[si].Config())
+	qp.Rebind(ch, s.credits[si])
 	s.flush()
 }
 
-// SetRetransmitter routes all future FAAs through rt (reliable mode). The
-// caller is responsible for the response chain reaching rt before the store
-// (rt.Inner = store) and for retargeting rt on failover.
-func (s *StateStore) SetRetransmitter(rt *Retransmitter) {
-	s.rt = rt
-	s.qp.SetReliable(rt)
+// SetRetransmitter routes shard 0's FAAs through rt (reliable mode); use
+// SetShardRetransmitter for striped stores. The caller is responsible for
+// the response chain reaching rt before the store (rt.Inner = store) and
+// for retargeting rt on failover.
+func (s *StateStore) SetRetransmitter(rt *Retransmitter) { s.SetShardRetransmitter(0, rt) }
+
+// SetShardRetransmitter routes shard si's FAAs through rt.
+func (s *StateStore) SetShardRetransmitter(si int, rt *Retransmitter) {
+	s.rts[si] = rt
+	s.striped.Shard(si).SetReliable(rt)
 }
 
 // SetDegraded pauses (true) or re-enables (false) remote flushing; prefer
@@ -218,29 +285,59 @@ func (s *StateStore) Reconcile() {
 	s.degraded = false
 	s.Stats.Reconciles++
 	s.Stats.DegradedExits++
-	if s.rt == nil {
-		s.qp.ReapExpired()
-	}
+	s.reapLossy()
 	s.flush()
 }
 
-// Outstanding reports in-flight FAA requests.
-func (s *StateStore) Outstanding() int { return s.credits.Outstanding() }
+// reapLossy runs the expiry reaper on every shard not covered by a
+// retransmitter (reliable shards never lose requests, only delay them).
+func (s *StateStore) reapLossy() {
+	for i := range s.rts {
+		if s.rts[i] == nil {
+			s.striped.Shard(i).ReapExpired()
+		}
+	}
+}
 
-// Credits exposes the store's admission window for introspection.
-func (s *StateStore) Credits() *Credits { return s.credits }
+// Outstanding reports in-flight FAA requests across all shards.
+func (s *StateStore) Outstanding() int {
+	n := 0
+	for _, cr := range s.credits {
+		n += cr.Outstanding()
+	}
+	return n
+}
+
+// Credits exposes shard 0's admission window for introspection; striped
+// stores meter each shard separately (ShardCredits).
+func (s *StateStore) Credits() *Credits { return s.credits[0] }
+
+// ShardCredits exposes shard si's admission window.
+func (s *StateStore) ShardCredits(si int) *Credits { return s.credits[si] }
 
 // Pending reports the delta accumulated on the switch for counter idx but
-// not yet flushed — exactness checks add it to the remote value.
-func (s *StateStore) Pending(idx int) uint64 { return s.pending[idx] }
+// not yet flushed — the pending-table accumulator plus any delta deferred
+// in the home shard's doorbell ring. Exactness checks add it to the remote
+// value.
+func (s *StateStore) Pending(idx int) uint64 {
+	return s.pending[idx] + s.striped.Home(uint64(idx)).DoorbellDeltaAt(s.striped.Offset(uint64(idx)))
+}
 
-// PendingTotal reports updates accumulated on the switch but not yet
-// flushed to remote memory — the value accuracy checks add to the remote
-// counters.
-func (s *StateStore) PendingTotal() uint64 { return s.pendingSum }
+// PendingTotal reports updates accumulated on the switch but not yet on the
+// wire — pending-table deltas plus doorbell-resident deltas. The value
+// accuracy checks add it to the remote counters.
+func (s *StateStore) PendingTotal() uint64 {
+	return s.pendingSum + s.striped.DoorbellDelta()
+}
 
-// CounterOffset returns the region offset of counter idx.
-func (s *StateStore) CounterOffset(idx int) int { return idx * 8 }
+// CounterOffset returns counter idx's byte offset inside its home shard's
+// region.
+func (s *StateStore) CounterOffset(idx int) int { return s.striped.Offset(uint64(idx)) }
+
+// CounterHome returns the channel holding counter idx and its offset there.
+func (s *StateStore) CounterHome(idx int) (*Channel, int) {
+	return s.chans[s.striped.ShardOf(uint64(idx))], s.striped.Offset(uint64(idx))
+}
 
 // UpdateFlow counts one packet of the flow identified by key.
 func (s *StateStore) UpdateFlow(key wire.FlowKey) {
@@ -275,9 +372,7 @@ func (s *StateStore) UpdatePrio(idx int, delta uint64, prio switchsim.Priority) 
 		s.accumulate(idx, delta)
 		return
 	}
-	if s.rt == nil {
-		s.qp.ReapExpired()
-	}
+	s.reapLossy()
 	s.accumulate(idx, delta)
 	s.flush()
 }
@@ -288,39 +383,83 @@ func (s *StateStore) accumulate(idx int, delta uint64) {
 			s.Stats.DroppedUpdates += int64(delta)
 			return
 		}
-		s.dirty = append(s.dirty, idx)
+		si := s.striped.ShardOf(uint64(idx))
+		s.dirty[si] = append(s.dirty[si], idx)
 	}
 	s.pending[idx] += delta
 	s.pendingSum += delta
 	s.Stats.Accumulated += int64(delta)
 }
 
-// flush issues FAAs for dirty counters while outstanding slots remain and
-// batch thresholds are met.
+// flush moves dirty counters toward the wire, shard by shard: immediate
+// FAAs while outstanding slots remain and batch thresholds are met, or — in
+// doorbell mode — deferrals into the shard's pending ring, where the
+// transport coalesces and posts them on its own triggers.
 func (s *StateStore) flush() {
 	if s.degraded {
 		return
 	}
-	for s.qp.CanPost() && len(s.dirty) > 0 {
-		idx := s.dirty[0]
+	for si := range s.dirty {
+		s.flushShard(si)
+	}
+	if s.cfg.Doorbell {
+		// FAAIssued counts frames, and in doorbell mode the transport owns
+		// the posting moment; mirror its flush counters.
+		var n int64
+		for i := 0; i < s.striped.Shards(); i++ {
+			n += s.striped.Shard(i).DoorbellStatsSnapshot().Flushed
+		}
+		s.Stats.FAAIssued = n
+	}
+}
+
+func (s *StateStore) flushShard(si int) {
+	qp := s.striped.Shard(si)
+	dirty := s.dirty[si]
+	defer func() { s.dirty[si] = dirty }()
+
+	if s.cfg.Doorbell {
+		for len(dirty) > 0 {
+			idx := dirty[0]
+			delta := s.pending[idx]
+			if delta == 0 {
+				dirty = dirty[1:]
+				delete(s.pending, idx)
+				continue
+			}
+			if !qp.DeferFetchAdd(s.striped.Offset(uint64(idx)), delta) {
+				return // ring full and undrainable; retry on next event
+			}
+			dirty = dirty[1:]
+			delete(s.pending, idx)
+			s.pendingSum -= delta
+		}
+		// Retry a previously cut-short batch now that this event may have
+		// freed credits; batches still accumulating keep their own triggers.
+		qp.RingUrgent()
+		return
+	}
+
+	for qp.CanPost() && len(dirty) > 0 {
+		idx := dirty[0]
 		delta := s.pending[idx]
 		if delta == 0 {
 			// Signed updates cancelled out: nothing to flush. The map
 			// entry must go too, or later updates to this counter would
 			// accumulate without ever rejoining the dirty queue.
-			s.dirty = s.dirty[1:]
+			dirty = dirty[1:]
 			delete(s.pending, idx)
 			continue
 		}
-		if delta < s.cfg.Batch && s.credits.Outstanding() > 0 {
+		if delta < s.cfg.Batch && s.credits[si].Outstanding() > 0 {
 			// Not enough accumulated to justify an op while the NIC is
 			// busy; wait for more updates or a free pipeline.
 			return
 		}
-		if !s.qp.PostFetchAdd(s.CounterOffset(idx), delta) {
+		if !qp.PostFetchAdd(s.striped.Offset(uint64(idx)), delta) {
 			return // egress or retransmit window full; retry on next event
 		}
-		s.dirty = s.dirty[1:]
+		dirty = dirty[1:]
 		delete(s.pending, idx)
 		s.pendingSum -= delta
 		s.Stats.FAAIssued++
@@ -328,15 +467,25 @@ func (s *StateStore) flush() {
 }
 
 // HandleResponse consumes atomic ACKs, freeing outstanding slots and
-// flushing accumulated updates.
+// flushing accumulated updates. The echoed destination QPN routes the ACK
+// to its shard; a single-channel store tolerates responses from a channel
+// it has already rebound away from (the pre-striping behaviour), while a
+// striped store ignores QPNs it no longer owns.
 func (s *StateStore) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) {
 	ctx.Drop() // responses never leave the switch
 	if pkt.BTH.Opcode != wire.OpAtomicAcknowledge {
 		return
 	}
 	s.Stats.AcksSeen++
+	si, ok := s.byQPN[pkt.BTH.DestQP]
+	if !ok {
+		if len(s.chans) > 1 {
+			return
+		}
+		si = 0
+	}
 	// Cumulative completion: anything at or before the echoed PSN is
 	// answered or lost-and-answered-later.
-	s.qp.AckCumulative(pkt.BTH.PSN)
+	s.striped.Shard(si).AckCumulative(pkt.BTH.PSN)
 	s.flush()
 }

@@ -41,11 +41,24 @@ func stateBed(t *testing.T, nicCfg rnic.Config, ssCfg StateStoreConfig) (*bed, *
 	return b, ss
 }
 
-// remoteCounterSum reads all remote counters back from server DRAM.
+// nicFor resolves a channel's memory server by its peer MAC (RKeys and QPNs
+// are per-NIC counters and may collide across servers).
+func (b *bed) nicFor(ch *Channel) *rnic.NIC {
+	for _, nic := range b.memNICs {
+		if nic.MAC == ch.PeerMAC {
+			return nic
+		}
+	}
+	return b.memNIC
+}
+
+// remoteCounterSum reads all remote counters back from server DRAM,
+// following each counter to its home shard's server.
 func remoteCounterSum(b *bed, ss *StateStore) uint64 {
 	var sum uint64
 	for i := 0; i < ss.cfg.Counters; i++ {
-		v, err := b.memNIC.ReadCounter(ss.ch.RKey, ss.ch.Base+uint64(i*8))
+		ch, off := ss.CounterHome(i)
+		v, err := b.nicFor(ch).ReadCounter(ch.RKey, ch.Base+uint64(off))
 		if err == nil {
 			sum += v
 		}
@@ -164,7 +177,8 @@ func TestStateStoreDirectUpdateByIndex(t *testing.T) {
 	ss.Update(3, 10)
 	ss.Update(3, 5)
 	b.net.Engine.Run()
-	v, err := b.memNIC.ReadCounter(ss.ch.RKey, ss.ch.Base+3*8)
+	ch3, off3 := ss.CounterHome(3)
+	v, err := b.memNIC.ReadCounter(ch3.RKey, ch3.Base+uint64(off3))
 	if err != nil || v != 15 {
 		t.Fatalf("counter[3] = %d (%v), want 15", v, err)
 	}
@@ -249,7 +263,8 @@ func TestStateStoreSignedCancellationThenFlush(t *testing.T) {
 	b.net.Engine.Run()
 	ss.Update(3, 5)
 	b.net.Engine.Run()
-	v, err := b.memNIC.ReadCounter(ss.ch.RKey, ss.ch.Base+3*8)
+	ch3, off3 := ss.CounterHome(3)
+	v, err := b.memNIC.ReadCounter(ch3.RKey, ch3.Base+uint64(off3))
 	if err != nil || v != 5 {
 		t.Fatalf("counter[3] = %d (%v), want 5", v, err)
 	}

@@ -1,0 +1,307 @@
+package verbs
+
+import (
+	"testing"
+
+	"gem/internal/sim"
+)
+
+// dbEndpoint extends fakeEndpoint with FAA accounting and captured timers,
+// for doorbell and striping unit tests.
+type dbEndpoint struct {
+	fakeEndpoint
+	faas   int
+	deltas uint64
+	timers []func()
+}
+
+func (e *dbEndpoint) FetchAdd(offset int, delta uint64) (uint32, bool) {
+	p, ok := e.fakeEndpoint.FetchAdd(offset, delta)
+	if ok {
+		e.faas++
+		e.deltas += delta
+	}
+	return p, ok
+}
+
+func (e *dbEndpoint) Schedule(after sim.Duration, fn func()) {
+	e.timers = append(e.timers, fn)
+}
+
+func (e *dbEndpoint) fire() {
+	timers := e.timers
+	e.timers = nil
+	for _, fn := range timers {
+		fn()
+	}
+}
+
+func TestStripedPlacement(t *testing.T) {
+	mk := func(n int, cfg StripeConfig) *StripedQP {
+		shards := make([]*QP, n)
+		for i := range shards {
+			shards[i] = NewQP(&fakeEndpoint{}, nil, QPConfig{})
+		}
+		return NewStriped(shards, cfg)
+	}
+
+	// Single shard degenerates to the unsharded layout: shard 0, offset
+	// key*EntrySize.
+	s1 := mk(1, StripeConfig{EntrySize: 8})
+	for _, k := range []uint64{0, 1, 7, 1000} {
+		if s1.ShardOf(k) != 0 || s1.Offset(k) != int(k)*8 {
+			t.Fatalf("n=1 placement of %d: shard %d off %d", k, s1.ShardOf(k), s1.Offset(k))
+		}
+	}
+
+	// Modulo placement: key k lives on shard k%n at slot k/n.
+	s4 := mk(4, StripeConfig{EntrySize: 16})
+	for _, c := range []struct {
+		key        uint64
+		shard, off int
+	}{{0, 0, 0}, {1, 1, 0}, {5, 1, 16}, {11, 3, 32}} {
+		if s4.ShardOf(c.key) != c.shard || s4.Offset(c.key) != c.off {
+			t.Fatalf("placement of %d: shard %d off %d, want %d/%d",
+				c.key, s4.ShardOf(c.key), s4.Offset(c.key), c.shard, c.off)
+		}
+	}
+
+	// SlotsPerShard wraps the shard-local slot (ring semantics): with 4
+	// shards of 3 slots, global index 12 reuses shard 0 slot 0.
+	ring := mk(4, StripeConfig{EntrySize: 10, SlotsPerShard: 3})
+	if ring.ShardOf(12) != 0 || ring.Offset(12) != 0 {
+		t.Fatalf("ring wrap: shard %d off %d, want 0/0", ring.ShardOf(12), ring.Offset(12))
+	}
+	if ring.Offset(16) != 10 { // key 16: slot (16/4) mod 3 = 1
+		t.Fatalf("ring slot for 16: off %d, want 10", ring.Offset(16))
+	}
+}
+
+func TestStripedPostRoutesToHomeShard(t *testing.T) {
+	eps := []*dbEndpoint{{}, {}}
+	shards := []*QP{
+		NewQP(eps[0], nil, QPConfig{Cumulative: true}),
+		NewQP(eps[1], nil, QPConfig{Cumulative: true}),
+	}
+	s := NewStriped(shards, StripeConfig{EntrySize: 8})
+	for k := uint64(0); k < 6; k++ {
+		if !s.PostFetchAdd(k, k+1) {
+			t.Fatalf("post %d refused", k)
+		}
+	}
+	// Even keys on shard 0, odd on shard 1; deltas prove offsets/keys routed.
+	if eps[0].faas != 3 || eps[1].faas != 3 {
+		t.Fatalf("faa split %d/%d, want 3/3", eps[0].faas, eps[1].faas)
+	}
+	if eps[0].deltas != 1+3+5 || eps[1].deltas != 2+4+6 {
+		t.Fatalf("delta split %d/%d", eps[0].deltas, eps[1].deltas)
+	}
+	if s.Pending() != 6 {
+		t.Fatalf("pending %d, want 6", s.Pending())
+	}
+	// Per-shard cumulative ACKs retire independently; merged stats add up.
+	shards[0].AckCumulative(2)
+	if s.Pending() != 3 {
+		t.Fatalf("pending after shard-0 ack: %d, want 3", s.Pending())
+	}
+	shards[1].AckCumulative(2)
+	st := s.Stats()
+	if st.FetchAdd.Posted != 6 || st.FetchAdd.Completed != 6 {
+		t.Fatalf("merged stats %+v", st.FetchAdd)
+	}
+}
+
+func TestStripedPerShardCredits(t *testing.T) {
+	eps := []*dbEndpoint{{}, {}}
+	crs := []*Credits{
+		NewCredits(CreditConfig{Window: 1}),
+		NewCredits(CreditConfig{Window: 1}),
+	}
+	shards := []*QP{
+		NewQP(eps[0], crs[0], QPConfig{TokenIndex: true}),
+		NewQP(eps[1], crs[1], QPConfig{TokenIndex: true}),
+	}
+	s := NewStriped(shards, StripeConfig{EntrySize: 64})
+	if !s.PostRead(0, 64, 1, CreditTry) {
+		t.Fatal("first post on shard 0 refused")
+	}
+	// Shard 0's window is exhausted; shard 1's is untouched.
+	if s.CanPost(2) {
+		t.Fatal("shard 0 should be out of credits")
+	}
+	if !s.PostRead(1, 64, 1, CreditTry) {
+		t.Fatal("shard 1 post refused despite private window")
+	}
+	if !s.TokenPending(0) || !s.TokenPending(1) || s.TokenPending(2) {
+		t.Fatal("token index misrouted")
+	}
+}
+
+func TestDoorbellCoalesceAndFlushDelta(t *testing.T) {
+	ep := &dbEndpoint{}
+	qp := NewQP(ep, nil, QPConfig{Cumulative: true})
+	qp.EnableDoorbell(DoorbellConfig{MaxPending: 8, FlushDelta: 4})
+
+	// Three counters round-robin: deltas coalesce in place, nothing posts
+	// until one entry ripens.
+	for round := 0; round < 3; round++ {
+		for off := 0; off < 24; off += 8 {
+			if !qp.DeferFetchAdd(off, 1) {
+				t.Fatal("defer refused")
+			}
+		}
+	}
+	if ep.faas != 0 || qp.DoorbellPending() != 3 || qp.DoorbellDelta() != 9 {
+		t.Fatalf("pre-ripe: faas=%d pending=%d delta=%d", ep.faas, qp.DoorbellPending(), qp.DoorbellDelta())
+	}
+	// Counter 0's fourth delta ripens it: exactly that entry posts, its
+	// neighbours keep coalescing.
+	if !qp.DeferFetchAdd(0, 1) {
+		t.Fatal("defer refused")
+	}
+	if ep.faas != 1 || ep.deltas != 4 {
+		t.Fatalf("ripe flush: faas=%d deltas=%d, want 1 post of 4", ep.faas, ep.deltas)
+	}
+	if qp.DoorbellPending() != 2 || qp.DoorbellDeltaAt(0) != 0 || qp.DoorbellDeltaAt(8) != 3 {
+		t.Fatalf("ring after ripe flush: pending=%d at0=%d at8=%d",
+			qp.DoorbellPending(), qp.DoorbellDeltaAt(0), qp.DoorbellDeltaAt(8))
+	}
+	// Explicit Ring drains the rest in deferral order.
+	if n := qp.Ring(); n != 2 {
+		t.Fatalf("Ring posted %d, want 2", n)
+	}
+	if ep.deltas != 10 || qp.DoorbellDelta() != 0 {
+		t.Fatalf("post-ring: deltas=%d resident=%d", ep.deltas, qp.DoorbellDelta())
+	}
+	st := qp.DoorbellStatsSnapshot()
+	if st.Deferred != 10 || st.Coalesced != 7 || st.Flushed != 3 {
+		t.Fatalf("doorbell stats %+v", st)
+	}
+}
+
+func TestDoorbellSizeTriggerAndRefusal(t *testing.T) {
+	ep := &dbEndpoint{}
+	qp := NewQP(ep, nil, QPConfig{Cumulative: true})
+	qp.EnableDoorbell(DoorbellConfig{MaxPending: 2})
+
+	qp.DeferFetchAdd(0, 1)
+	qp.DeferFetchAdd(8, 1)
+	// Ring full: the third distinct offset forces a flush first.
+	if !qp.DeferFetchAdd(16, 1) {
+		t.Fatal("defer should succeed after forced flush")
+	}
+	if ep.faas != 2 || qp.DoorbellPending() != 1 {
+		t.Fatalf("size trigger: faas=%d pending=%d", ep.faas, qp.DoorbellPending())
+	}
+
+	// With the egress refusing, a full ring cannot drain: the defer is
+	// rejected and the caller keeps the delta.
+	ep.fail = true
+	qp.DeferFetchAdd(24, 1)
+	if qp.DeferFetchAdd(32, 1) {
+		t.Fatal("defer should fail when flush cannot drain the full ring")
+	}
+	if qp.DoorbellDelta() != 2 {
+		t.Fatalf("resident delta %d, want 2", qp.DoorbellDelta())
+	}
+	// The cut-short flush marked the ring urgent; once the egress recovers,
+	// RingUrgent drains it — and a second RingUrgent is a no-op.
+	ep.fail = false
+	if n := qp.RingUrgent(); n != 2 {
+		t.Fatalf("RingUrgent posted %d, want 2", n)
+	}
+	if n := qp.RingUrgent(); n != 0 {
+		t.Fatalf("idle RingUrgent posted %d", n)
+	}
+}
+
+func TestDoorbellAgeTrigger(t *testing.T) {
+	ep := &dbEndpoint{}
+	qp := NewQP(ep, nil, QPConfig{Cumulative: true})
+	qp.EnableDoorbell(DoorbellConfig{MaxPending: 8, MaxAge: 50 * sim.Microsecond})
+
+	qp.DeferFetchAdd(0, 1)
+	qp.DeferFetchAdd(8, 2)
+	if len(ep.timers) != 1 {
+		t.Fatalf("armed %d timers, want 1", len(ep.timers))
+	}
+	ep.fire()
+	if ep.faas != 2 || ep.deltas != 3 || qp.DoorbellPending() != 0 {
+		t.Fatalf("age flush: faas=%d deltas=%d pending=%d", ep.faas, ep.deltas, qp.DoorbellPending())
+	}
+	// Empty ring after the flush: no re-arm.
+	if len(ep.timers) != 0 {
+		t.Fatal("timer re-armed with an empty ring")
+	}
+	// A refused flush re-arms so the leftovers age out eventually.
+	qp.DeferFetchAdd(16, 1)
+	ep.fail = true
+	ep.fire()
+	if len(ep.timers) != 1 || qp.DoorbellPending() != 1 {
+		t.Fatalf("refused age flush: timers=%d pending=%d", len(ep.timers), qp.DoorbellPending())
+	}
+}
+
+func TestDoorbellExactlyOnceAcrossRebind(t *testing.T) {
+	old := &dbEndpoint{}
+	qp := NewQP(old, nil, QPConfig{Cumulative: true})
+	qp.EnableDoorbell(DoorbellConfig{MaxPending: 8, MaxAge: 50 * sim.Microsecond})
+
+	// A delta deferred before failover is unflushed intent: Abort abandons
+	// in-flight WQEs but must not touch the ring.
+	qp.DeferFetchAdd(0, 5)
+	qp.Abort()
+	next := &dbEndpoint{}
+	qp.Rebind(next, nil)
+	if qp.DoorbellDelta() != 5 {
+		t.Fatalf("rebind lost resident delta: %d", qp.DoorbellDelta())
+	}
+	// The age timer armed on the old endpoint fires after the rebind: the
+	// delta posts exactly once, to the new endpoint.
+	old.fire()
+	if old.faas != 0 || next.faas != 1 || next.deltas != 5 {
+		t.Fatalf("post-rebind flush: old=%d new=%d/%d", old.faas, next.faas, next.deltas)
+	}
+	// Nothing left for a duplicate trigger to double-post.
+	if qp.Ring() != 0 || next.deltas != 5 {
+		t.Fatalf("duplicate ring re-posted: deltas=%d", next.deltas)
+	}
+}
+
+func TestRetargetMovesCreditsAndTokens(t *testing.T) {
+	oldEP, newEP := &dbEndpoint{}, &dbEndpoint{}
+	oldCr := NewCredits(CreditConfig{Window: 4})
+	newCr := NewCredits(CreditConfig{Window: 4})
+	qp := NewQP(oldEP, oldCr, QPConfig{TokenIndex: true})
+	for tok := uint64(0); tok < 3; tok++ {
+		if !qp.PostRead(tok, int(tok)*64, 64, 1, CreditTry) {
+			t.Fatalf("post %d refused", tok)
+		}
+	}
+	moved := qp.Retarget(newEP, newCr, nil)
+	if len(moved) != 3 {
+		t.Fatalf("retarget moved %d tokens, want 3", len(moved))
+	}
+	// Held credits migrated: the old window is free, the new one holds 3.
+	if oldCr.Outstanding() != 0 || newCr.Outstanding() != 3 {
+		t.Fatalf("credit migration: old=%d new=%d", oldCr.Outstanding(), newCr.Outstanding())
+	}
+	// Reposts re-issue on the new endpoint; completions retire against the
+	// new window.
+	for _, tok := range moved {
+		if !qp.Repost(tok) {
+			t.Fatalf("repost %d refused", tok)
+		}
+	}
+	if newEP.psn != 3 || oldEP.psn != 3 {
+		t.Fatalf("reposts did not land on new endpoint: old psn %#x new psn %#x", oldEP.psn, newEP.psn)
+	}
+	for psn := uint32(0); psn < 3; psn++ {
+		if _, ok := qp.CompleteExact(psn); !ok {
+			t.Fatalf("completion at %d missed", psn)
+		}
+	}
+	if newCr.Outstanding() != 0 || qp.Pending() != 0 {
+		t.Fatalf("drain: outstanding=%d pending=%d", newCr.Outstanding(), qp.Pending())
+	}
+}

@@ -175,6 +175,9 @@ type QP struct {
 	cur     *WQE
 	partial []byte
 
+	// Doorbell pending ring (nil unless EnableDoorbell); see doorbell.go.
+	db *doorbell
+
 	Stats Stats
 }
 
@@ -621,8 +624,34 @@ func (q *QP) Abort() {
 }
 
 // Rebind points the QP at a new endpoint and admission window (server
-// failover). The caller aborts or retargets in-flight work first.
+// failover). The caller aborts or retargets in-flight work first. Doorbell
+// entries survive untouched: they are deferred intent, not in-flight work,
+// and flush exactly once to the new endpoint when their trigger fires.
 func (q *QP) Rebind(ep Endpoint, credits *Credits) {
 	q.ep = ep
 	q.credits = credits
+}
+
+// Retarget points the QP at a new endpoint WITHOUT abandoning in-flight
+// work — the failover path for READ workloads whose requests must
+// eventually be satisfied (TokenIndex QPs). Every live WQE's held credit
+// moves from the old window to the new one, and its token is appended to
+// buf for the caller to sort and re-issue via Repost against the new
+// endpoint. Responses still arriving from the old endpoint complete as
+// stale.
+func (q *QP) Retarget(ep Endpoint, credits *Credits, buf []uint64) []uint64 {
+	//gem:deterministic — credit moves and key collection are order-independent
+	for _, w := range q.byToken {
+		if w.done {
+			continue
+		}
+		if w.hasCredit && q.credits != credits {
+			q.credits.Release()
+			credits.Acquire()
+		}
+		buf = append(buf, w.Token)
+	}
+	q.ep = ep
+	q.credits = credits
+	return buf
 }

@@ -422,3 +422,51 @@ func TestE10(t *testing.T) {
 		}
 	}
 }
+
+// TestE11 runs the striping experiment for three seeds, twice each. Pins:
+// the two runs of a seed are identical (the shard=1 and shard=4 beds both
+// replay exactly), aggregate FAA rate scales with fan-out width (>=1.7x at
+// two servers, >=3x at four), READ drain goodput scales likewise, doorbell
+// batching cuts frames on the wire by at least the configured Batch factor,
+// and every run stays exactly-once with a quiescent event queue.
+func TestE11(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		before := wire.DefaultPool.Stats().Balance()
+		cfg := DefaultE11Config()
+		cfg.Seed = seed
+		_, first := RunE11(cfg)
+		_, second := RunE11(cfg)
+		if first != second {
+			t.Fatalf("seed %d not reproducible:\n first %+v\nsecond %+v", seed, first, second)
+		}
+		if !first.FAAExact1 || !first.FAAExact2 || !first.FAAExact4 {
+			t.Errorf("seed %d: counts drifted under saturation: exact %v/%v/%v",
+				seed, first.FAAExact1, first.FAAExact2, first.FAAExact4)
+		}
+		if first.FAASpeedup2 < 1.7 || first.FAASpeedup4 < 3 {
+			t.Errorf("seed %d: FAA scaling too shallow: %.2fx at 2, %.2fx at 4 (rates %.2f/%.2f/%.2f)",
+				seed, first.FAASpeedup2, first.FAASpeedup4,
+				first.FAARate1, first.FAARate2, first.FAARate4)
+		}
+		if first.ReadGbps1 == 0 || first.ReadSpeedup2 < 1.7 || first.ReadSpeedup4 < 3 {
+			t.Errorf("seed %d: READ scaling too shallow: %.2fx at 2, %.2fx at 4 (%.1f/%.1f/%.1f Gbps)",
+				seed, first.ReadSpeedup2, first.ReadSpeedup4,
+				first.ReadGbps1, first.ReadGbps2, first.ReadGbps4)
+		}
+		if !first.DoorbellExact {
+			t.Errorf("seed %d: doorbell ablation lost updates", seed)
+		}
+		if first.FramesBatched == 0 ||
+			first.FramesRatio < float64(cfg.DoorbellBatch) {
+			t.Errorf("seed %d: doorbell saved too little: %d vs %d frames (%.1fx < %dx)",
+				seed, first.FramesUnbatched, first.FramesBatched,
+				first.FramesRatio, cfg.DoorbellBatch)
+		}
+		if first.PendingEvents != 0 {
+			t.Errorf("seed %d: event queue not quiescent: %d pending", seed, first.PendingEvents)
+		}
+		if after := wire.DefaultPool.Stats().Balance(); after != before {
+			t.Errorf("seed %d: frame pool unbalanced: %d before, %d after", seed, before, after)
+		}
+	}
+}

@@ -422,7 +422,7 @@ func (tb *Testbed) Stats() StatsSnapshot {
 			snap.Reconciles += v.Stats.Reconciles
 			snap.DegradedUpdates += v.Stats.DegradedUpdates
 			snap.ShedUpdates += v.Stats.ShedUpdates
-			snap.Transport = snap.Transport.Add(v.Transport().Stats)
+			snap.Transport = snap.Transport.Add(v.Transport().Stats())
 		case *core.LookupTable:
 			if seen[h] {
 				return
@@ -433,7 +433,7 @@ func (tb *Testbed) Stats() StatsSnapshot {
 			snap.DegradedMisses += v.Stats.DegradedMisses
 			snap.ShedMisses += v.Stats.ShedMisses
 			snap.CreditFallbacks += v.Stats.CreditFallbacks
-			snap.Transport = snap.Transport.Add(v.Transport().Stats)
+			snap.Transport = snap.Transport.Add(v.Transport().Stats())
 		case *core.PacketBuffer:
 			if seen[h] {
 				return
