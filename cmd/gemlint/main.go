@@ -1,10 +1,18 @@
 // Command gemlint runs the gem static-analysis suite: the frameown,
-// nodeterminism, and hotalloc passes that enforce the frame-ownership and
-// determinism contracts described in DESIGN.md.
+// nodeterminism, hotalloc, creditbal, psnsafe, and postcheck passes that
+// enforce the frame-ownership, determinism, and verbs-transport contracts
+// described in DESIGN.md.
 //
 // Standalone:
 //
 //	go run ./cmd/gemlint ./...
+//	go run ./cmd/gemlint -json ./...                            # machine output
+//	go run ./cmd/gemlint -baseline gemlint.baseline.json ./...  # fail on NEW findings only
+//
+// The baseline file is the -json output of a previous run, checked in at the
+// repo root: CI runs with -baseline so known, triaged findings don't fail
+// the build but any new finding does. Matching ignores line numbers (file,
+// pass, message), so unrelated edits that shift lines don't churn it.
 //
 // As a vet tool (the unitchecker protocol: cmd/go invokes the tool once per
 // package with a JSON config file):
@@ -19,21 +27,25 @@ package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/importer"
 	"go/parser"
 	"go/token"
-	"go/types"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"gem/internal/analysis"
+	"gem/internal/analysis/creditbal"
 	"gem/internal/analysis/frameown"
 	"gem/internal/analysis/hotalloc"
 	"gem/internal/analysis/nodeterminism"
+	"gem/internal/analysis/postcheck"
+	"gem/internal/analysis/psnsafe"
 )
 
 // frameownScope are the package prefixes whose code moves pooled frames.
@@ -61,6 +73,21 @@ var hotallocScope = []string{
 	"gem/internal/core/verbs",
 }
 
+// verbsScope are the packages that drive the verbs transport: everything
+// that reserves credits, posts work, or compares PSNs. The credit-balance,
+// post-result, and PSN-safety contracts apply here.
+var verbsScope = []string{
+	"gem/internal/core", "gem/internal/rnic",
+}
+
+// selfScope is the analysis tooling itself. The path-sensitive passes run
+// over it as a crash-regression smoke check: the CFG builder must digest
+// every control-flow shape in its own codebase (they are expected to stay
+// silent — the tooling neither pools frames nor posts verbs).
+var selfScope = []string{
+	"gem/internal/analysis", "gem/cmd/gemlint",
+}
+
 // nodeterminismExempt are internal packages that are developer tooling, not
 // simulation code: their output does not feed gem-bench's byte-identical
 // reproducibility check.
@@ -84,7 +111,7 @@ func analyzersFor(pkgPath string) []*analysis.Analyzer {
 		pkgPath = pkgPath[:i]
 	}
 	var as []*analysis.Analyzer
-	if pkgPath == rootPackage || inScope(pkgPath, frameownScope) {
+	if pkgPath == rootPackage || inScope(pkgPath, frameownScope) || inScope(pkgPath, selfScope) {
 		as = append(as, frameown.Analyzer)
 	}
 	if pkgPath == rootPackage ||
@@ -93,6 +120,9 @@ func analyzersFor(pkgPath string) []*analysis.Analyzer {
 	}
 	if inScope(pkgPath, hotallocScope) {
 		as = append(as, hotalloc.Analyzer)
+	}
+	if pkgPath == rootPackage || inScope(pkgPath, verbsScope) || inScope(pkgPath, selfScope) {
+		as = append(as, creditbal.Analyzer, psnsafe.Analyzer, postcheck.Analyzer)
 	}
 	return as
 }
@@ -104,7 +134,7 @@ func main() {
 	for _, a := range args {
 		switch {
 		case a == "-V=full" || a == "-V":
-			fmt.Println("gemlint version gemlint-0.1")
+			fmt.Println("gemlint version gemlint-0.2")
 			return
 		case a == "-flags":
 			fmt.Println("[]")
@@ -116,11 +146,19 @@ func main() {
 		os.Exit(runVetTool(args[0]))
 	}
 
-	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: gemlint <packages>  (e.g. gemlint ./...)")
+	fs := flag.NewFlagSet("gemlint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	baselinePath := fs.String("baseline", "", "JSON baseline `file` of known findings; exit nonzero only on findings not in it")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: gemlint [-json] [-baseline file] <packages>  (e.g. gemlint ./...)")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fs.Usage()
 		os.Exit(2)
 	}
-	os.Exit(runStandalone(args))
+	os.Exit(runStandalone(fs.Args(), *jsonOut, *baselinePath))
 }
 
 // diag pairs a diagnostic with its origin for sorted printing.
@@ -130,7 +168,7 @@ type diag struct {
 	pass string
 }
 
-func printDiags(w io.Writer, diags []diag) {
+func sortDiags(diags []diag) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.pos.Filename != b.pos.Filename {
@@ -141,9 +179,82 @@ func printDiags(w io.Writer, diags []diag) {
 		}
 		return a.msg < b.msg
 	})
+}
+
+func printDiags(w io.Writer, diags []diag) {
+	sortDiags(diags)
 	for _, d := range diags {
 		fmt.Fprintf(w, "%s: %s [%s]\n", d.pos, d.msg, d.pass)
 	}
+}
+
+// finding is the JSON wire form of a diagnostic; a baseline file is simply
+// the -json output of a previous run.
+type finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
+}
+
+// baselineKey identifies a finding for baseline matching: line and column
+// are excluded so edits elsewhere in a file don't invalidate the entry.
+func baselineKey(f finding) string {
+	return f.File + "\x00" + f.Pass + "\x00" + f.Message
+}
+
+func toFindings(diags []diag, root string) []finding {
+	sortDiags(diags)
+	out := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		file := d.pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		out = append(out, finding{File: file, Line: d.pos.Line, Col: d.pos.Column, Pass: d.pass, Message: d.msg})
+	}
+	return out
+}
+
+// loadBaseline reads a -json output file into a multiset of finding keys:
+// N baselined copies of an identical finding tolerate exactly N occurrences.
+func loadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var fs []finding
+	if err := json.Unmarshal(data, &fs); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %v", path, err)
+	}
+	m := make(map[string]int, len(fs))
+	for _, f := range fs {
+		m[baselineKey(f)]++
+	}
+	return m, nil
+}
+
+// applyBaseline splits findings into (new, suppressed-count).
+func applyBaseline(fs []finding, baseline map[string]int) ([]finding, int) {
+	budget := make(map[string]int, len(baseline))
+	for k, n := range baseline {
+		budget[k] = n
+	}
+	var fresh []finding
+	suppressed := 0
+	for _, f := range fs {
+		k := baselineKey(f)
+		if budget[k] > 0 {
+			budget[k]--
+			suppressed++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, suppressed
 }
 
 // runPass applies one analyzer to one loaded package.
@@ -164,7 +275,7 @@ func runPass(a *analysis.Analyzer, pkg *analysis.Package, owns map[string]bool, 
 
 // runStandalone loads the requested packages from source and applies every
 // in-scope pass, with //gem:owns annotations collected module-wide.
-func runStandalone(patterns []string) int {
+func runStandalone(patterns []string, jsonOut bool, baselinePath string) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gemlint:", err)
@@ -194,8 +305,42 @@ func runStandalone(patterns []string) int {
 			}
 		}
 	}
-	printDiags(os.Stdout, diags)
-	if len(diags) > 0 {
+
+	root, err := analysis.ModuleRoot(cwd)
+	if err != nil {
+		root = cwd
+	}
+	findings := toFindings(diags, root)
+
+	if baselinePath != "" {
+		baseline, err := loadBaseline(baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gemlint:", err)
+			return 2
+		}
+		fresh, suppressed := applyBaseline(findings, baseline)
+		if suppressed > 0 && !jsonOut {
+			fmt.Fprintf(os.Stderr, "gemlint: %d baselined finding(s) suppressed\n", suppressed)
+		}
+		findings = fresh
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "gemlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(os.Stdout, "%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Pass)
+		}
+	}
+	if len(findings) > 0 {
 		return 1
 	}
 	return 0
@@ -267,23 +412,14 @@ func runVetTool(cfgPath string) int {
 		}
 		return os.Open(file)
 	})
-	info := &types.Info{
-		Types:      make(map[ast.Expr]types.TypeAndValue),
-		Defs:       make(map[*ast.Ident]types.Object),
-		Uses:       make(map[*ast.Ident]types.Object),
-		Implicits:  make(map[ast.Node]types.Object),
-		Selections: make(map[*ast.SelectorExpr]*types.Selection),
-		Scopes:     make(map[ast.Node]*types.Scope),
-		Instances:  make(map[*ast.Ident]types.Instance),
-	}
-	conf := types.Config{Importer: imp}
-	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	info := analysis.NewTypesInfo()
+	tpkg, err := analysis.CheckTypes(cfg.ImportPath, fset, files, info, imp)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			writeVetx()
 			return 0
 		}
-		fmt.Fprintf(os.Stderr, "gemlint: type-checking %s: %v\n", cfg.ImportPath, err)
+		fmt.Fprintf(os.Stderr, "gemlint: %v\n", err)
 		return 2
 	}
 

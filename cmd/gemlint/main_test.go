@@ -1,0 +1,99 @@
+package main
+
+import (
+	"go/token"
+	"testing"
+)
+
+func analyzerNames(pkgPath string) map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range analyzersFor(pkgPath) {
+		names[a.Name] = true
+	}
+	return names
+}
+
+func TestAnalyzersForScopes(t *testing.T) {
+	cases := []struct {
+		pkg  string
+		want []string
+		not  []string
+	}{
+		{"gem/internal/core", []string{"frameown", "nodeterminism", "creditbal", "psnsafe", "postcheck"}, []string{"hotalloc"}},
+		{"gem/internal/core/verbs", []string{"frameown", "hotalloc", "creditbal", "psnsafe", "postcheck"}, nil},
+		{"gem/internal/rnic", []string{"frameown", "hotalloc", "creditbal", "psnsafe", "postcheck"}, nil},
+		{"gem/internal/wire", []string{"hotalloc", "nodeterminism"}, []string{"frameown", "creditbal"}},
+		{"gem", []string{"frameown", "nodeterminism", "creditbal", "psnsafe", "postcheck"}, []string{"hotalloc"}},
+		// Self-lint: the tooling runs the path-sensitive passes over itself
+		// as a crash-regression check, but is exempt from determinism/alloc
+		// contracts.
+		{"gem/internal/analysis/cfg", []string{"frameown", "creditbal", "psnsafe", "postcheck"}, []string{"nodeterminism", "hotalloc"}},
+		{"gem/cmd/gemlint", []string{"frameown", "creditbal", "psnsafe", "postcheck"}, []string{"nodeterminism", "hotalloc"}},
+		// Test-variant package paths scope by the base import path.
+		{"gem/internal/core [gem/internal/core.test]", []string{"frameown", "creditbal"}, nil},
+		{"gem/cmd/gem-bench", nil, []string{"frameown", "nodeterminism", "hotalloc", "creditbal"}},
+	}
+	for _, c := range cases {
+		got := analyzerNames(c.pkg)
+		for _, w := range c.want {
+			if !got[w] {
+				t.Errorf("analyzersFor(%q): missing %s (got %v)", c.pkg, w, got)
+			}
+		}
+		for _, n := range c.not {
+			if got[n] {
+				t.Errorf("analyzersFor(%q): unexpected %s", c.pkg, n)
+			}
+		}
+	}
+}
+
+func TestToFindingsRelativizesAndSorts(t *testing.T) {
+	diags := []diag{
+		{pos: token.Position{Filename: "/repo/b.go", Line: 2, Column: 1}, msg: "second", pass: "p"},
+		{pos: token.Position{Filename: "/repo/a.go", Line: 9, Column: 3}, msg: "first", pass: "p"},
+		{pos: token.Position{Filename: "/elsewhere/c.go", Line: 1, Column: 1}, msg: "outside", pass: "p"},
+	}
+	fs := toFindings(diags, "/repo")
+	if len(fs) != 3 {
+		t.Fatalf("got %d findings, want 3", len(fs))
+	}
+	if fs[0].File != "/elsewhere/c.go" {
+		t.Errorf("file outside the root must stay absolute, got %q", fs[0].File)
+	}
+	if fs[1].File != "a.go" || fs[1].Line != 9 || fs[1].Col != 3 {
+		t.Errorf("got %+v, want a.go:9:3", fs[1])
+	}
+	if fs[2].File != "b.go" {
+		t.Errorf("got %q, want b.go", fs[2].File)
+	}
+}
+
+func TestApplyBaseline(t *testing.T) {
+	old := finding{File: "a.go", Line: 10, Pass: "creditbal", Message: "leak"}
+	moved := finding{File: "a.go", Line: 99, Pass: "creditbal", Message: "leak"}
+	fresh := finding{File: "a.go", Line: 11, Pass: "psnsafe", Message: "raw < ordering"}
+
+	baseline := map[string]int{baselineKey(old): 1}
+
+	// A baselined finding is suppressed even when its line moved.
+	got, suppressed := applyBaseline([]finding{moved, fresh}, baseline)
+	if suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", suppressed)
+	}
+	if len(got) != 1 || got[0].Pass != "psnsafe" {
+		t.Errorf("new findings = %+v, want only the psnsafe one", got)
+	}
+
+	// The baseline is a multiset: one entry tolerates one occurrence.
+	got, suppressed = applyBaseline([]finding{old, moved}, baseline)
+	if suppressed != 1 || len(got) != 1 {
+		t.Errorf("duplicate beyond baseline count must surface: got %+v (suppressed %d)", got, suppressed)
+	}
+
+	// No baseline: everything is new.
+	got, _ = applyBaseline([]finding{old}, nil)
+	if len(got) != 1 {
+		t.Errorf("nil baseline must pass findings through, got %+v", got)
+	}
+}

@@ -1,0 +1,115 @@
+package cfg
+
+// A small forward dataflow driver: iterate the transfer function over the
+// graph in reverse postorder until the per-block entry states stop
+// changing. Analyses run it twice — once silently to converge, then one
+// reporting pass per block from the converged entry states — so loop-carried
+// facts (a release on the back edge, a leak around a continue) surface
+// without duplicate diagnostics.
+
+// Flow describes one forward analysis over state type S. States must form a
+// finite-height join semilattice under Join for the fixpoint to terminate;
+// MaxRounds caps the iteration regardless.
+type Flow[S any] struct {
+	// Entry produces the state on function entry.
+	Entry func() S
+	// Clone deep-copies a state (Transfer is free to mutate its argument).
+	Clone func(S) S
+	// Join merges src into dst and returns the result; dst may be mutated.
+	Join func(dst, src S) S
+	// Transfer applies one block's nodes to s and returns the out-state; it
+	// may mutate and return s.
+	Transfer func(b *Block, s S) S
+	// Branch, when non-nil, refines a condition block's out-state per edge:
+	// given the block's Cond and out-state it returns the state for the
+	// true and false successors. Nil means both edges see the out-state.
+	Branch func(cond Condition, out S) (onTrue, onFalse S)
+	// Equal reports state equivalence (the convergence test).
+	Equal func(a, b S) bool
+	// MaxRounds bounds fixpoint iteration; 0 means 4 + 4*len(blocks).
+	MaxRounds int
+}
+
+// Condition is the branch condition handed to Flow.Branch: the expression
+// plus a Clone so the refiner can fork states.
+type Condition struct {
+	Block *Block
+}
+
+// Fixpoint runs the analysis to convergence and returns the entry state of
+// every reachable block. Unreachable blocks are absent from the map.
+func Fixpoint[S any](g *Graph, f Flow[S]) map[*Block]S {
+	order := g.ReversePostorder()
+	in := make(map[*Block]S, len(order))
+	in[g.Entry] = f.Entry()
+
+	max := f.MaxRounds
+	if max <= 0 {
+		max = 4 + 4*len(g.Blocks)
+	}
+	for round := 0; round < max; round++ {
+		changed := false
+		for _, b := range order {
+			entry, ok := in[b]
+			if !ok {
+				continue
+			}
+			out := f.Transfer(b, f.Clone(entry))
+			var tState, fState S
+			refined := false
+			if f.Branch != nil && b.Cond != nil && len(b.Succs) == 2 {
+				tState, fState = f.Branch(Condition{Block: b}, out)
+				refined = true
+			}
+			for i, succ := range b.Succs {
+				var s S
+				switch {
+				case refined && i == 0:
+					s = tState
+				case refined && i == 1:
+					s = fState
+				default:
+					s = f.Clone(out)
+				}
+				if cur, ok := in[succ]; ok {
+					before := f.Clone(cur)
+					merged := f.Join(cur, s)
+					if !f.Equal(merged, before) {
+						changed = true
+					}
+					in[succ] = merged
+				} else {
+					in[succ] = s
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return in
+}
+
+// ReversePostorder returns the reachable blocks in reverse postorder of a
+// DFS from Entry — the canonical forward-dataflow visit order.
+func (g *Graph) ReversePostorder() []*Block {
+	seen := make(map[*Block]bool, len(g.Blocks))
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

@@ -1,0 +1,19 @@
+package creditbal_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gem/internal/analysis"
+	"gem/internal/analysis/analysistest"
+	"gem/internal/analysis/creditbal"
+)
+
+func TestCreditbal(t *testing.T) {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixture := filepath.Join(root, "internal", "analysis", "testdata", "src", "creditbal")
+	analysistest.Run(t, root, fixture, creditbal.Analyzer, nil)
+}

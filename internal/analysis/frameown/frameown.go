@@ -3,17 +3,21 @@
 // builder) must be released or handed to exactly one owner on every path,
 // and never touched again after the handoff.
 //
-// The pass is intra-procedural. It runs a small abstract interpreter over
-// each function body, tracking every local []byte variable through three
-// states — owned, released (recycled or transferred), untracked — and
-// reports:
+// The pass is intra-procedural and path-sensitive: it builds each
+// function's CFG (internal/analysis/cfg) and runs a forward dataflow
+// analysis over it, tracking every local []byte variable as a set of
+// possible ownership facts — may-owned, may-released — that joins by union
+// at merge points. It reports:
 //
 //   - double release/transfer: the frame reaches an owning call (Pool.Put,
-//     Context.Emit, Port.Send, anything //gem:owns) twice on one path,
-//     including the loop-carried variant that shipped the L2 flood bug;
-//   - use after release: any read of the variable once ownership is gone;
-//   - leak: a locally-acquired frame that escapes the function on some
-//     return path with no release, emit, or ownership transfer.
+//     Context.Emit, Port.Send, anything //gem:owns) twice on some path,
+//     including the loop-carried variant that shipped the L2 flood bug and
+//     the goto-retry variant the old linear scan missed;
+//   - use after release: any read of the variable once ownership is
+//     definitely gone;
+//   - leak: a locally-acquired frame still owned on some path out of the
+//     function — an early return, a break/continue edge that skips the
+//     release, or a select arm without one.
 //
 // Aliasing (slicing, struct stores, closure capture, dynamic calls) demotes
 // a variable to untracked rather than guessing: the pass prefers silence to
@@ -29,6 +33,7 @@ import (
 	"strings"
 
 	"gem/internal/analysis"
+	"gem/internal/analysis/cfg"
 )
 
 // Analyzer is the frameown pass.
@@ -38,10 +43,13 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-type state int
+// state is a bitset of ownership facts that may hold on some path into the
+// current program point. Union is the join: stOwned|stReleased means a
+// branch released the frame and another did not.
+type state uint8
 
 const (
-	stOwned state = iota
+	stOwned state = 1 << iota
 	stReleased
 )
 
@@ -56,7 +64,7 @@ type varInfo struct {
 	escaped bool
 	// deferRel records a `defer pool.Put(v)` style release.
 	deferRel bool
-	// relPos is where ownership left, for the double-release message.
+	// relPos is where ownership first left, for the double-release message.
 	relPos token.Pos
 }
 
@@ -73,34 +81,51 @@ func (e env) clone() env {
 	return c
 }
 
-// join merges a branch state back into e: variables that disagree between
-// the paths become untracked (the conservative top).
+// join merges another path's state into e by union: a variable owned on one
+// path and released on the other carries both facts, so the later owning
+// call still reports "released twice on some path" and the exit check still
+// reports "leaks on some path". deferRel survives only when both paths have
+// the deferred cover.
 func (e env) join(o env) {
 	for k, v := range e {
-		ov, ok := o[k]
-		if !ok {
-			delete(e, k)
-			continue
+		if ov, ok := o[k]; ok {
+			v.state |= ov.state
+			v.escaped = v.escaped || ov.escaped
+			v.deferRel = v.deferRel && ov.deferRel
+			if v.relPos == token.NoPos {
+				v.relPos = ov.relPos
+			}
 		}
-		if ov.state != v.state {
-			delete(e, k)
-			continue
-		}
-		v.escaped = v.escaped || ov.escaped
-		v.deferRel = v.deferRel && ov.deferRel
 	}
-	for k := range o {
+	for k, ov := range o {
 		if _, ok := e[k]; !ok {
-			// Variable tracked on only one path: drop it.
-			delete(e, k)
+			e[k] = ov.clone()
 		}
 	}
+}
+
+// equal is the fixpoint convergence test; relPos is cosmetic and excluded.
+func (e env) equal(o env) bool {
+	if len(e) != len(o) {
+		return false
+	}
+	for k, v := range e {
+		ov, ok := o[k]
+		if !ok || ov.state != v.state || ov.local != v.local ||
+			ov.escaped != v.escaped || ov.deferRel != v.deferRel {
+			return false
+		}
+	}
+	return true
 }
 
 type checker struct {
 	pass *analysis.Pass
 	owns map[string]bool
-	// seen dedups diagnostics: loop bodies are walked twice.
+	// silent suppresses reports during the convergence phase; the
+	// reporting phase then visits each reachable block exactly once.
+	silent bool
+	// seen dedups diagnostics across blocks and exit edges.
 	seen map[string]bool
 }
 
@@ -123,6 +148,9 @@ func run(pass *analysis.Pass) error {
 }
 
 func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.silent {
+		return
+	}
 	msg := fmt.Sprintf(format, args...)
 	key := fmt.Sprintf("%d:%s", pos, msg)
 	if c.seen[key] {
@@ -145,7 +173,7 @@ func shortFile(path string) string {
 }
 
 func (c *checker) checkFunc(fd *ast.FuncDecl) {
-	e := make(env)
+	base := make(env)
 	// []byte parameters start owned-but-borrowed: double release and use
 	// after release apply, the leak check does not (the caller may retain
 	// ownership on non-transferring calls).
@@ -153,22 +181,163 @@ func (c *checker) checkFunc(fd *ast.FuncDecl) {
 		for _, field := range fd.Type.Params.List {
 			for _, name := range field.Names {
 				if v, ok := c.pass.TypesInfo.Defs[name].(*types.Var); ok && analysis.IsByteSlice(v.Type()) {
-					e[v] = &varInfo{state: stOwned, local: false}
+					base[v] = &varInfo{state: stOwned, local: false}
 				}
 			}
 		}
 	}
-	if !c.walkStmt(fd.Body, e) {
-		// Only fall-off-the-end exits: terminating bodies already ran the
-		// leak check at their return statement.
-		c.leakCheck(e, fd.Body.Rbrace)
+
+	g := cfg.New(fd.Body, c.pass.TypesInfo)
+	flow := cfg.Flow[env]{
+		Entry:    func() env { return base.clone() },
+		Clone:    func(s env) env { return s.clone() },
+		Join:     func(dst, src env) env { dst.join(src); return dst },
+		Transfer: func(b *cfg.Block, s env) env { c.transfer(b, s); return s },
+		Equal:    func(a, b env) bool { return a.equal(b) },
+	}
+
+	// Phase 1: converge silently so loop-carried facts (a transfer flowing
+	// around the back edge, a leak around a continue) settle. Phase 2: one
+	// reporting visit per reachable block from the converged entry states,
+	// then the leak check on every fall-off-the-end edge.
+	c.silent = true
+	in := cfg.Fixpoint(g, flow)
+	c.silent = false
+	for _, b := range g.ReversePostorder() {
+		s, ok := in[b]
+		if !ok {
+			continue
+		}
+		s = s.clone()
+		c.transfer(b, s)
+		if b.Returns() || b.Panics {
+			continue
+		}
+		for _, succ := range b.Succs {
+			if succ == g.Exit {
+				c.leakCheck(s, fd.Body.Rbrace)
+				break
+			}
+		}
 	}
 }
 
-// leakCheck reports locally-acquired owned frames alive at a function exit.
+// transfer applies one block's nodes to the environment.
+func (c *checker) transfer(b *cfg.Block, e env) {
+	for _, n := range b.Nodes {
+		c.node(n, e)
+	}
+}
+
+// node interprets one CFG node.
+func (c *checker) node(n ast.Node, e env) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		c.walkAssign(s, e)
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						c.checkUses(e, val, nil)
+						if call, ok := ast.Unparen(val).(*ast.CallExpr); ok {
+							c.handleCall(e, call, false)
+						}
+					}
+					if len(vs.Names) == 1 && len(vs.Values) == 1 {
+						if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok && c.acquires(call) {
+							if v, ok := c.pass.TypesInfo.Defs[vs.Names[0]].(*types.Var); ok {
+								e[v] = &varInfo{state: stOwned, local: true}
+							}
+						}
+					}
+				}
+			}
+		}
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			c.handleCall(e, call, false)
+		} else {
+			c.checkUses(e, s.X, nil)
+		}
+
+	case *ast.DeferStmt:
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			c.closureEscape(e, lit)
+			return
+		}
+		c.handleCall(e, s.Call, true)
+
+	case *ast.GoStmt:
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			c.closureEscape(e, lit)
+			return
+		}
+		// Frame args to a goroutine escape: release timing is unknowable.
+		for _, arg := range s.Call.Args {
+			c.checkUses(e, arg, nil)
+			c.escapeVar(e, arg)
+		}
+
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			c.checkUses(e, res, nil)
+			if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+				c.handleCall(e, call, false)
+			}
+			// Returning a frame transfers ownership to the caller.
+			if _, info := c.varOf(e, res); info != nil && info.state&stOwned != 0 {
+				info.state = stReleased
+				info.relPos = res.Pos()
+				info.escaped = true
+			}
+		}
+		c.leakCheck(e, s.Pos())
+
+	case *ast.SendStmt:
+		c.checkUses(e, s.Chan, nil)
+		c.checkUses(e, s.Value, nil)
+		c.escapeVar(e, s.Value)
+
+	case *ast.IncDecStmt:
+		c.checkUses(e, s.X, nil)
+
+	case *ast.RangeStmt:
+		// The header node: X is a read; Key/Value are fresh per-iteration
+		// definitions of non-frame loop variables (a []byte range element
+		// would be an alias the pass does not track).
+		c.checkUses(e, s.X, nil)
+
+	case *ast.BranchStmt, *ast.EmptyStmt:
+
+	case ast.Expr:
+		// Branch conditions, switch tags, case expressions: reads, plus any
+		// call effects (an owning call in a condition runs on both edges).
+		if call, ok := ast.Unparen(s).(*ast.CallExpr); ok {
+			c.handleCall(e, call, false)
+		} else {
+			c.checkUses(e, s, nil)
+		}
+	}
+}
+
+// escapeVar demotes a tracked variable mentioned as expr to escaped.
+func (c *checker) escapeVar(e env, expr ast.Expr) {
+	if v, info := c.varOf(e, expr); info != nil {
+		info.escaped = true
+		if info.state&stOwned != 0 {
+			delete(e, v)
+		}
+	}
+}
+
+// leakCheck reports locally-acquired frames still owned on some path at a
+// function exit.
 func (c *checker) leakCheck(e env, pos token.Pos) {
 	for v, info := range e {
-		if info.state == stOwned && info.local && !info.escaped && !info.deferRel {
+		if info.state&stOwned != 0 && info.local && !info.escaped && !info.deferRel {
 			c.report(pos, "owned frame %q leaks: no release, emit, or ownership transfer on this path (acquired at %s)",
 				v.Name(), c.posStr(v.Pos()))
 		}
@@ -189,9 +358,9 @@ func (c *checker) varOf(e env, expr ast.Expr) (*types.Var, *varInfo) {
 	return v, info
 }
 
-// checkUses walks expr reporting reads of released variables; skip, when
-// non-nil, suppresses the report for one ident (the argument of the very
-// call being handled).
+// checkUses walks expr reporting reads of definitely-released variables;
+// skip, when non-nil, suppresses the report for one ident (the argument of
+// the very call being handled).
 func (c *checker) checkUses(e env, expr ast.Expr, skip *ast.Ident) {
 	if expr == nil {
 		return
@@ -228,7 +397,7 @@ func (c *checker) closureEscape(e env, lit *ast.FuncLit) {
 		if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
 			if info := e[v]; info != nil {
 				info.escaped = true
-				if info.state == stOwned {
+				if info.state&stOwned != 0 {
 					delete(e, v)
 				}
 			}
@@ -255,8 +424,7 @@ func (c *checker) acquires(call *ast.CallExpr) bool {
 	return false
 }
 
-// handleCall applies a call's effect on the environment and returns true if
-// the call was an ownership transfer of some tracked variable.
+// handleCall applies a call's effect on the environment.
 func (c *checker) handleCall(e env, call *ast.CallExpr, deferred bool) {
 	// Nested calls in arguments first (e.g. Send(BuildAckInto(...)) —
 	// handled as an immediate transfer of an anonymous frame: nothing to
@@ -284,13 +452,7 @@ func (c *checker) handleCall(e env, call *ast.CallExpr, deferred bool) {
 		// Dynamic call: tracked arguments escape.
 		for _, arg := range call.Args {
 			c.checkUses(e, arg, nil)
-			if v, info := c.varOf(e, arg); info != nil {
-				_ = v
-				info.escaped = true
-				if info.state == stOwned {
-					delete(e, v)
-				}
-			}
+			c.escapeVar(e, arg)
 		}
 		c.checkUses(e, call.Fun, nil)
 		return
@@ -300,18 +462,19 @@ func (c *checker) handleCall(e env, call *ast.CallExpr, deferred bool) {
 		idx := analysis.OwnedArgIndex(fn)
 		if idx >= 0 && idx < len(call.Args) {
 			if v, info := c.varOf(e, call.Args[idx]); info != nil {
-				switch info.state {
-				case stReleased:
+				_ = v
+				if info.state&stReleased != 0 {
 					c.report(call.Args[idx].Pos(),
 						"frame %q released or transferred twice on this path (first at %s, again in call to %s)",
 						v.Name(), c.posStr(info.relPos), fn.Name())
-				case stOwned:
-					if deferred {
-						info.deferRel = true
-					} else {
-						info.state = stReleased
+				}
+				if deferred {
+					info.deferRel = true
+				} else {
+					if info.state&stReleased == 0 {
 						info.relPos = call.Args[idx].Pos()
 					}
+					info.state = stReleased
 				}
 			}
 			// Other arguments are plain uses.
@@ -334,267 +497,8 @@ func (c *checker) handleCall(e env, call *ast.CallExpr, deferred bool) {
 	c.checkUses(e, call.Fun, nil)
 }
 
-// walkStmt interprets stmt, mutating e. It returns true when the statement
-// definitely terminates the enclosing path (return / panic).
-func (c *checker) walkStmt(stmt ast.Stmt, e env) bool {
-	switch s := stmt.(type) {
-	case nil:
-		return false
-
-	case *ast.BlockStmt:
-		for _, sub := range s.List {
-			if c.walkStmt(sub, e) {
-				return true
-			}
-		}
-		return false
-
-	case *ast.AssignStmt:
-		return c.walkAssign(s, e)
-
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, val := range vs.Values {
-						c.checkUses(e, val, nil)
-						if call, ok := ast.Unparen(val).(*ast.CallExpr); ok {
-							c.handleCall(e, call, false)
-						}
-					}
-					if len(vs.Names) == 1 && len(vs.Values) == 1 {
-						if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok && c.acquires(call) {
-							if v, ok := c.pass.TypesInfo.Defs[vs.Names[0]].(*types.Var); ok {
-								e[v] = &varInfo{state: stOwned, local: true}
-							}
-						}
-					}
-				}
-			}
-		}
-		return false
-
-	case *ast.ExprStmt:
-		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
-			c.handleCall(e, call, false)
-		} else {
-			c.checkUses(e, s.X, nil)
-		}
-		return false
-
-	case *ast.DeferStmt:
-		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
-			c.closureEscape(e, lit)
-			return false
-		}
-		c.handleCall(e, s.Call, true)
-		return false
-
-	case *ast.GoStmt:
-		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
-			c.closureEscape(e, lit)
-			return false
-		}
-		// Frame args to a goroutine escape: release timing is unknowable.
-		for _, arg := range s.Call.Args {
-			c.checkUses(e, arg, nil)
-			if v, info := c.varOf(e, arg); info != nil {
-				info.escaped = true
-				if info.state == stOwned {
-					delete(e, v)
-				}
-			}
-		}
-		return false
-
-	case *ast.ReturnStmt:
-		for _, res := range s.Results {
-			c.checkUses(e, res, nil)
-			if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
-				c.handleCall(e, call, false)
-			}
-			// Returning a frame transfers ownership to the caller.
-			if v, info := c.varOf(e, res); info != nil && info.state == stOwned {
-				_ = v
-				info.state = stReleased
-				info.relPos = res.Pos()
-				info.escaped = true
-			}
-		}
-		c.leakCheck(e, s.Pos())
-		return true
-
-	case *ast.IfStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init, e)
-		}
-		c.checkUses(e, s.Cond, nil)
-		thenEnv := e.clone()
-		thenTerm := c.walkStmt(s.Body, thenEnv)
-		if s.Else != nil {
-			elseEnv := e.clone()
-			elseTerm := c.walkStmt(s.Else, elseEnv)
-			switch {
-			case thenTerm && elseTerm:
-				// Both branches end the path; anything after is dead.
-				return true
-			case thenTerm:
-				replace(e, elseEnv)
-			case elseTerm:
-				replace(e, thenEnv)
-			default:
-				thenEnv.join(elseEnv)
-				replace(e, thenEnv)
-			}
-			return false
-		}
-		if !thenTerm {
-			thenEnv.join(e)
-			replace(e, thenEnv)
-		}
-		// then-branch returned: fall-through state is the pre-branch e.
-		return false
-
-	case *ast.ForStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init, e)
-		}
-		c.checkUses(e, s.Cond, nil)
-		c.walkLoopBody(s.Body, s.Post, e)
-		return false
-
-	case *ast.RangeStmt:
-		c.checkUses(e, s.X, nil)
-		c.walkLoopBody(s.Body, nil, e)
-		return false
-
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init, e)
-		}
-		c.checkUses(e, s.Tag, nil)
-		c.walkCases(s.Body, e, false)
-		return false
-
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init, e)
-		}
-		c.walkCases(s.Body, e, false)
-		return false
-
-	case *ast.SelectStmt:
-		c.walkCases(s.Body, e, true)
-		return false
-
-	case *ast.LabeledStmt:
-		return c.walkStmt(s.Stmt, e)
-
-	case *ast.BranchStmt:
-		// break/continue/goto: approximate by ending this path without a
-		// leak check (the frame stays live in the loop's next state).
-		return s.Tok == token.GOTO
-
-	case *ast.IncDecStmt:
-		c.checkUses(e, s.X, nil)
-		return false
-
-	case *ast.SendStmt:
-		c.checkUses(e, s.Chan, nil)
-		c.checkUses(e, s.Value, nil)
-		if v, info := c.varOf(e, s.Value); info != nil {
-			_ = v
-			info.escaped = true
-			if info.state == stOwned {
-				delete(e, v)
-			}
-		}
-		return false
-
-	default:
-		return false
-	}
-}
-
-// replace overwrites e in place with the contents of src.
-func replace(e, src env) {
-	for k := range e {
-		delete(e, k)
-	}
-	for k, v := range src {
-		e[k] = v
-	}
-}
-
-// walkLoopBody interprets a loop body twice so that state flowing around the
-// back edge (ownership transferred on iteration 1, transferred again on
-// iteration 2) surfaces; the diagnostic dedup keeps the double-walk silent
-// for clean code. The loop may run zero times, so the final state is the
-// join of the pre-loop and post-body environments.
-func (c *checker) walkLoopBody(body *ast.BlockStmt, post ast.Stmt, e env) {
-	pre := e.clone()
-	for i := 0; i < 2; i++ {
-		c.walkStmt(body, e)
-		if post != nil {
-			c.walkStmt(post, e)
-		}
-	}
-	e.join(pre)
-}
-
-// walkCases interprets each case clause of a switch/select body from the
-// entry state and joins the results.
-func (c *checker) walkCases(body *ast.BlockStmt, e env, isSelect bool) {
-	entry := e.clone()
-	var joined env
-	sawDefault := false
-	for _, raw := range body.List {
-		caseEnv := entry.clone()
-		var stmts []ast.Stmt
-		switch cl := raw.(type) {
-		case *ast.CaseClause:
-			for _, x := range cl.List {
-				c.checkUses(caseEnv, x, nil)
-			}
-			if cl.List == nil {
-				sawDefault = true
-			}
-			stmts = cl.Body
-		case *ast.CommClause:
-			if cl.Comm != nil {
-				c.walkStmt(cl.Comm, caseEnv)
-			} else {
-				sawDefault = true
-			}
-			stmts = cl.Body
-		}
-		term := false
-		for _, st := range stmts {
-			if c.walkStmt(st, caseEnv) {
-				term = true
-				break
-			}
-		}
-		if term {
-			continue
-		}
-		if joined == nil {
-			joined = caseEnv
-		} else {
-			joined.join(caseEnv)
-		}
-	}
-	if joined == nil {
-		joined = entry.clone()
-	} else if !sawDefault && !isSelect {
-		// No default: the switch may fall through untouched.
-		joined.join(entry)
-	}
-	replace(e, joined)
-}
-
 // walkAssign handles acquisition, aliasing, and reassignment.
-func (c *checker) walkAssign(s *ast.AssignStmt, e env) bool {
+func (c *checker) walkAssign(s *ast.AssignStmt, e env) {
 	// RHS effects first.
 	for _, rhs := range s.Rhs {
 		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
@@ -622,13 +526,12 @@ func (c *checker) walkAssign(s *ast.AssignStmt, e env) bool {
 			if v != nil && analysis.IsByteSlice(v.Type()) {
 				e[v] = &varInfo{state: stOwned, local: true}
 			}
-			return false
+			return
 		}
 
 		// Alias flows: w := v, w := v[a:b] — the source stays owned for
 		// double-release purposes but is no longer leak-checkable.
-		if src, info := c.aliasSource(e, rhs); info != nil {
-			_ = src
+		if _, info := c.aliasSource(e, rhs); info != nil {
 			info.escaped = true
 		}
 
@@ -641,24 +544,16 @@ func (c *checker) walkAssign(s *ast.AssignStmt, e env) bool {
 				v, _ = c.pass.TypesInfo.Uses[lhsID].(*types.Var)
 			}
 			if v != nil {
-				if info := e[v]; info != nil {
-					delete(e, v)
-				}
+				delete(e, v)
 			}
-			return false
+			return
 		}
 	}
 
 	// Multi-assign / compound LHS (field, index, map stores): tracked RHS
 	// values escape; tracked LHS targets reset.
 	for _, rhs := range s.Rhs {
-		if v, info := c.varOf(e, rhs); info != nil {
-			_ = v
-			info.escaped = true
-			if info.state == stOwned {
-				delete(e, v)
-			}
-		}
+		c.escapeVar(e, rhs)
 	}
 	for _, lhs := range s.Lhs {
 		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
@@ -672,7 +567,6 @@ func (c *checker) walkAssign(s *ast.AssignStmt, e env) bool {
 			c.checkUses(e, lhs, nil)
 		}
 	}
-	return false
 }
 
 // aliasSource returns the tracked variable whose buffer expr aliases: the

@@ -11,6 +11,17 @@ import (
 // and Pool methods anchor the ownership rules.
 const WirePkgPath = "gem/internal/wire"
 
+// VerbsPkgPath is the import path of the verbs transport package whose
+// credit, reservation, and PSN disciplines the creditbal, postcheck, and
+// psnsafe passes enforce.
+const VerbsPkgPath = "gem/internal/core/verbs"
+
+// VerbsMethod returns the (*types.Func).FullName of a pointer-receiver
+// method on a verbs transport type, e.g. VerbsMethod("QP", "PostRead").
+func VerbsMethod(recv, name string) string {
+	return "(*" + VerbsPkgPath + "." + recv + ")." + name
+}
+
 // BuiltinOwns is the ownership-transfer table for the repo's fabric entry
 // points: calling one of these hands the first []byte argument to the callee,
 // which becomes responsible for recycling it. The table is keyed by

@@ -82,8 +82,8 @@ func exportImporter(fset *token.FileSet, exports map[string]string) types.Import
 	})
 }
 
-// newTypesInfo allocates every map an analyzer might consult.
-func newTypesInfo() *types.Info {
+// NewTypesInfo allocates every map an analyzer might consult.
+func NewTypesInfo() *types.Info {
 	return &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -109,6 +109,33 @@ func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, e
 		files = append(files, f)
 	}
 	return files, nil
+}
+
+// CheckTypes type-checks one package's files, collecting every type error
+// with its file:line position instead of stopping at the first. The returned
+// error lists up to ten positioned errors, one per line — a driver can print
+// it directly and the user gets clickable locations rather than a bare
+// message.
+func CheckTypes(pkgPath string, fset *token.FileSet, files []*ast.File, info *types.Info, imp types.Importer) (*types.Package, error) {
+	var errs []string
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err.Error()) },
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if len(errs) > 0 {
+		const max = 10
+		if extra := len(errs) - max; extra > 0 {
+			errs = append(errs[:max], fmt.Sprintf("... and %d more errors", extra))
+		}
+		return nil, fmt.Errorf("type-checking %s:\n\t%s", pkgPath, strings.Join(errs, "\n\t"))
+	}
+	if err != nil {
+		// Errors the callback did not see (e.g. import cycles reported
+		// directly); types.Error values still carry their position.
+		return nil, fmt.Errorf("type-checking %s: %v", pkgPath, err)
+	}
+	return tpkg, nil
 }
 
 // Load type-checks the packages matching patterns (their non-test Go files)
@@ -140,11 +167,10 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
-		info := newTypesInfo()
-		conf := types.Config{Importer: imp}
-		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		info := NewTypesInfo()
+		tpkg, err := CheckTypes(p.ImportPath, fset, files, info, imp)
 		if err != nil {
-			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+			return nil, err
 		}
 		out = append(out, &Package{
 			PkgPath: p.ImportPath, Dir: p.Dir,
@@ -211,11 +237,10 @@ func LoadDir(moduleRoot, dir string) (*Package, error) {
 		return nil, err
 	}
 	pkgPath := "gemlint.fixture/" + filepath.Base(dir)
-	info := newTypesInfo()
-	conf := types.Config{Importer: exportImporter(fset, exports)}
-	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	info := NewTypesInfo()
+	tpkg, err := CheckTypes(pkgPath, fset, files, info, exportImporter(fset, exports))
 	if err != nil {
-		return nil, fmt.Errorf("type-checking fixture %s: %v", dir, err)
+		return nil, fmt.Errorf("fixture %s: %w", dir, err)
 	}
 	return &Package{
 		PkgPath: pkgPath, Dir: dir,

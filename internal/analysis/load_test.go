@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestCheckTypesPositionedErrors verifies the driver surfaces every type
+// error with file:line context instead of stopping at the first bare
+// message.
+func TestCheckTypesPositionedErrors(t *testing.T) {
+	const src = `package broken
+
+func f() string {
+	var s string = 42
+	return s
+}
+
+func g() {
+	undefinedCall()
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "broken.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = CheckTypes("broken", fset, []*ast.File{f}, NewTypesInfo(), nil)
+	if err == nil {
+		t.Fatal("CheckTypes accepted a package with two type errors")
+	}
+	msg := err.Error()
+	// Both errors must appear, each with its position.
+	if !strings.Contains(msg, "broken.go:4:") {
+		t.Errorf("missing positioned mismatch error in:\n%s", msg)
+	}
+	if !strings.Contains(msg, "broken.go:9:") {
+		t.Errorf("missing positioned undefined-call error in:\n%s", msg)
+	}
+}
+
+// TestCheckTypesTruncatesLongErrorLists keeps driver output readable when a
+// package is badly broken.
+func TestCheckTypesTruncatesLongErrorLists(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("package broken\n\nfunc f() {\n")
+	for i := 0; i < 15; i++ {
+		b.WriteString("\tundef()\n")
+	}
+	b.WriteString("}\n")
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "broken.go", b.String(), parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = CheckTypes("broken", fset, []*ast.File{f}, NewTypesInfo(), nil)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "more errors") {
+		t.Errorf("long error list not truncated:\n%s", err)
+	}
+	if n := strings.Count(err.Error(), "broken.go:"); n > 10 {
+		t.Errorf("%d positioned errors shown, want at most 10", n)
+	}
+}

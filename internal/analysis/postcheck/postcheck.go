@@ -1,0 +1,116 @@
+// Package postcheck implements the gemlint pass that forbids dropping the
+// boolean result of a verbs posting or admission call. Every Post*,
+// TryReserve, TryAcquire, and Can* on the transport returns false when the
+// op was refused — by credit gating, a full send queue, or a closed
+// doorbell window — and a caller that ignores that false has silently lost
+// an op: the deposit never lands, the read is never reposted, and no
+// runtime check will ever notice. The pass flags three shapes:
+//
+//   - a bare expression statement (`qp.PostWrite(off, buf)`);
+//   - an assignment to the blank identifier (`_ = qp.Repost(tok)`);
+//   - a go/defer of such a call, whose result is unobservable by
+//     construction.
+//
+// Intentional fire-and-forget sites (a best-effort hint write whose loss is
+// benign) are waived with //gem:post-ok on the call's line or the line
+// above.
+package postcheck
+
+import (
+	"fmt"
+	"go/ast"
+
+	"gem/internal/analysis"
+)
+
+// Analyzer is the postcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "postcheck",
+	Doc:  "the boolean result of verbs Post*/TryReserve/Can* calls must be consumed",
+	Run:  run,
+}
+
+// Tag is the waiver annotation.
+const Tag = "post-ok"
+
+// mustConsume maps the FullName of each refusable verbs call to the short
+// label used in diagnostics.
+var mustConsume = map[string]string{
+	analysis.VerbsMethod("Credits", "TryAcquire"):      "Credits.TryAcquire",
+	analysis.VerbsMethod("Credits", "CanAcquire"):      "Credits.CanAcquire",
+	analysis.VerbsMethod("QP", "TryReserve"):           "QP.TryReserve",
+	analysis.VerbsMethod("QP", "CanPost"):              "QP.CanPost",
+	analysis.VerbsMethod("QP", "PostRead"):             "QP.PostRead",
+	analysis.VerbsMethod("QP", "PostWrite"):            "QP.PostWrite",
+	analysis.VerbsMethod("QP", "PostFetchAdd"):         "QP.PostFetchAdd",
+	analysis.VerbsMethod("QP", "DeferFetchAdd"):        "QP.DeferFetchAdd",
+	analysis.VerbsMethod("QP", "Repost"):               "QP.Repost",
+	analysis.VerbsMethod("StripedQP", "CanPost"):       "StripedQP.CanPost",
+	analysis.VerbsMethod("StripedQP", "PostRead"):      "StripedQP.PostRead",
+	analysis.VerbsMethod("StripedQP", "PostWrite"):     "StripedQP.PostWrite",
+	analysis.VerbsMethod("StripedQP", "PostFetchAdd"):  "StripedQP.PostFetchAdd",
+	analysis.VerbsMethod("StripedQP", "DeferFetchAdd"): "StripedQP.DeferFetchAdd",
+	analysis.VerbsMethod("StripedQP", "Repost"):        "StripedQP.Repost",
+}
+
+func run(pass *analysis.Pass) error {
+	ann := analysis.LineAnnotations(pass.Fset, pass.Files, Tag)
+
+	// target resolves expr to a must-consume call, or ("", nil).
+	target := func(expr ast.Expr) (string, *ast.CallExpr) {
+		call, ok := ast.Unparen(expr).(*ast.CallExpr)
+		if !ok {
+			return "", nil
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil {
+			return "", nil
+		}
+		label, ok := mustConsume[fn.FullName()]
+		if !ok {
+			return "", nil
+		}
+		return label, call
+	}
+
+	flag := func(call *ast.CallExpr, format string, args ...any) {
+		if analysis.Annotated(pass.Fset, ann, call.Pos()) {
+			return
+		}
+		pass.Reportf(call.Pos(), "%s", fmt.Sprintf(format, args...))
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if label, call := target(s.X); call != nil {
+					flag(call, "result of %s dropped: a false return is a refused op that is silently lost; handle it or annotate //gem:post-ok", label)
+				}
+			case *ast.GoStmt:
+				if label, call := target(s.Call); call != nil {
+					flag(call, "result of %s discarded by go statement: a refusal can never be observed", label)
+				}
+			case *ast.DeferStmt:
+				if label, call := target(s.Call); call != nil {
+					flag(call, "result of %s discarded by defer: a refusal can never be observed", label)
+				}
+			case *ast.AssignStmt:
+				if len(s.Lhs) != len(s.Rhs) {
+					return true
+				}
+				for i, rhs := range s.Rhs {
+					label, call := target(rhs)
+					if call == nil {
+						continue
+					}
+					if id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+						flag(call, "result of %s assigned to the blank identifier: a refused op is silently lost; handle it or annotate //gem:post-ok", label)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+// Package psnsafe implements the gemlint pass that enforces 24-bit PSN
+// arithmetic discipline. Packet sequence numbers live in a 0xFFFFFF-wide
+// ring: a raw `<` between two PSNs inverts its answer once the window
+// straddles the wrap, and an unmasked `psn + n` walks out of the ring
+// entirely — both are wraparound bugs by construction (the 0xFFFFFF→0
+// cases in the verbs PSN tests). The pass recognizes PSN values
+// heuristically — any non-constant uint32 identifier, selector, or call
+// result whose name contains "psn" — and reports:
+//
+//   - ordering comparisons (<, <=, >, >=) on a PSN: use verbs.PSNAfter,
+//     which compares signed 23-bit distance in the masked ring;
+//   - + or - on a PSN whose result is not immediately masked with
+//     & verbs.PSNMask (equality against a masked distance is fine);
+//   - ++/--/+=/-= on a PSN variable, which can never be masked in place.
+//
+// Sites where raw arithmetic is intentional (a monotonically increasing
+// diagnostic counter that happens to be named after the PSN it shadows)
+// are waived with //gem:psn-ok on the line or the line above.
+package psnsafe
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gem/internal/analysis"
+)
+
+// Analyzer is the psnsafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "psnsafe",
+	Doc:  "PSN ordering and arithmetic must go through verbs.PSNAfter / & verbs.PSNMask",
+	Run:  run,
+}
+
+// Tag is the waiver annotation.
+const Tag = "psn-ok"
+
+type checker struct {
+	pass    *analysis.Pass
+	ann     map[string]map[int]bool
+	parents map[ast.Node]ast.Node
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass: pass,
+		ann:  analysis.LineAnnotations(pass.Fset, pass.Files, Tag),
+	}
+	for _, f := range pass.Files {
+		c.parents = parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.BinaryExpr:
+				c.binary(s)
+			case *ast.IncDecStmt:
+				if name, ok := c.atom(s.X); ok {
+					c.flag(s.Pos(), "PSN %q incremented without masking: %s walks out of the 24-bit ring at 0xFFFFFF; write %s = (%s %c 1) & verbs.PSNMask or annotate //gem:psn-ok",
+						name, s.Tok.String(), name, name, s.Tok.String()[0])
+				}
+			case *ast.AssignStmt:
+				if s.Tok != token.ADD_ASSIGN && s.Tok != token.SUB_ASSIGN {
+					return true
+				}
+				for _, lhs := range s.Lhs {
+					if name, ok := c.atom(lhs); ok {
+						c.flag(s.Pos(), "PSN %q modified with %s without masking: mask the result with & verbs.PSNMask or annotate //gem:psn-ok",
+							name, s.Tok.String())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func (c *checker) binary(e *ast.BinaryExpr) {
+	switch e.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		name, ok := c.atom(e.X)
+		if !ok {
+			name, ok = c.atom(e.Y)
+		}
+		if ok {
+			c.flag(e.OpPos, "raw %s ordering on PSN %q inverts across the 24-bit wrap; compare with verbs.PSNAfter or annotate //gem:psn-ok",
+				e.Op.String(), name)
+		}
+	case token.ADD, token.SUB:
+		name, ok := c.atom(e.X)
+		if !ok {
+			name, ok = c.atom(e.Y)
+		}
+		if ok && !c.masked(e) {
+			c.flag(e.OpPos, "unmasked %s on PSN %q leaves the 24-bit ring; mask the result with & verbs.PSNMask or annotate //gem:psn-ok",
+				e.Op.String(), name)
+		}
+	}
+}
+
+func (c *checker) flag(pos token.Pos, format string, args ...any) {
+	if analysis.Annotated(c.pass.Fset, c.ann, pos) {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+// atom reports whether expr denotes a PSN value: a non-constant uint32
+// identifier, selector, or call result whose name contains "psn"
+// (case-insensitive). uint32(...) conversions are looked through so a
+// widening cast does not launder the name.
+func (c *checker) atom(expr ast.Expr) (string, bool) {
+	e := ast.Unparen(expr)
+	// Look through explicit conversions: uint32(psn) is still a PSN.
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return c.atom(call.Args[0])
+		}
+	}
+	var name string
+	switch x := e.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	case *ast.CallExpr:
+		fn := analysis.Callee(c.pass.TypesInfo, x)
+		if fn == nil {
+			return "", false
+		}
+		name = fn.Name()
+	default:
+		return "", false
+	}
+	if !strings.Contains(strings.ToLower(name), "psn") {
+		return "", false
+	}
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil { // constants (PSNMask itself) are not PSNs
+		return "", false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || b.Kind() != types.Uint32 {
+		return "", false
+	}
+	return name, true
+}
+
+// masked reports whether the +/- expression feeds — possibly through more
+// +/- terms and parentheses — into an `& <24-bit mask>` that re-enters the
+// ring.
+func (c *checker) masked(e ast.Expr) bool {
+	var cur ast.Node = e
+	for {
+		p, ok := c.parents[cur]
+		if !ok {
+			return false
+		}
+		switch pe := p.(type) {
+		case *ast.ParenExpr:
+			cur = pe
+		case *ast.BinaryExpr:
+			switch pe.Op {
+			case token.AND:
+				other := pe.Y
+				if pe.Y == cur {
+					other = pe.X
+				}
+				return isPSNMask(c.pass.TypesInfo, other)
+			case token.ADD, token.SUB:
+				cur = pe
+			default:
+				return false
+			}
+		default:
+			return false
+		}
+	}
+}
+
+// isPSNMask reports whether expr is a constant equal to 0xFFFFFF
+// (verbs.PSNMask or a literal spelling of it).
+func isPSNMask(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(expr)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Compare(tv.Value, token.EQL, constant.MakeUint64(0xFFFFFF))
+}
+
+// parentMap records each node's syntactic parent within one file.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,177 @@
+// Package creditbal seeds credit/reservation balance violations of the
+// verbs transport for the gemlint creditbal pass. Every flagged line
+// carries a `// want "regexp"` expectation checked by analysistest; the
+// unflagged functions pin the pass's conservative-silence and waiver
+// behavior.
+package creditbal
+
+import "gem/internal/core/verbs"
+
+func doWork() {}
+
+// reserveLeak sheds correctly on refusal but forgets the reservation on
+// the success path.
+func reserveLeak(q *verbs.QP) {
+	if !q.TryReserve(verbs.OpRead) { // want "reservation acquired by q.TryReserve is not balanced"
+		return
+	}
+	doWork()
+}
+
+// reserveBalanced drops on the error path and posts on the happy path.
+func reserveBalanced(q *verbs.QP, bad bool) {
+	if !q.TryReserve(verbs.OpRead) {
+		return
+	}
+	if bad {
+		q.DropReservation()
+		return
+	}
+	ok := q.PostRead(1, 0, 64, 1, verbs.CreditAdmit)
+	_ = ok
+}
+
+// bindLeak binds the acquire result, then returns early while holding.
+func bindLeak(c *verbs.Credits, n int) {
+	ok := c.TryAcquire() // want "credit acquired by c.TryAcquire is not balanced"
+	if ok && n > 0 {
+		return
+	}
+	if ok {
+		c.Release()
+	}
+}
+
+// bindBalanced releases on every held edge.
+func bindBalanced(c *verbs.Credits) {
+	ok := c.TryAcquire()
+	if !ok {
+		return
+	}
+	c.Release()
+}
+
+// acquireLeak takes a credit unconditionally and misses the error branch.
+func acquireLeak(c *verbs.Credits, fail bool) {
+	c.Acquire() // want "credit acquired by c.Acquire is not balanced"
+	if fail {
+		return
+	}
+	c.Release()
+}
+
+// acquireDeferred covers every path with a deferred release.
+func acquireDeferred(c *verbs.Credits, fail bool) {
+	c.Acquire()
+	defer c.Release()
+	if fail {
+		return
+	}
+	doWork()
+}
+
+// loopShed leaks the reservation around the continue back edge.
+func loopShed(q *verbs.QP, xs []int) {
+	for _, x := range xs {
+		if !q.TryReserve(verbs.OpWrite) { // want "reservation acquired by q.TryReserve is not balanced"
+			continue
+		}
+		if x < 0 {
+			continue
+		}
+		ok := q.PostWrite(x, nil)
+		_ = ok
+	}
+}
+
+// loopBalanced consumes or drops inside every iteration.
+func loopBalanced(q *verbs.QP, xs []int) {
+	for _, x := range xs {
+		if !q.TryReserve(verbs.OpWrite) {
+			continue
+		}
+		if x < 0 {
+			q.DropReservation()
+			continue
+		}
+		ok := q.PostWrite(x, nil)
+		_ = ok
+	}
+}
+
+// compoundAnd holds only on the edge where both conjuncts are true.
+func compoundAnd(c *verbs.Credits, n int) {
+	if n > 0 && c.TryAcquire() { // want "credit acquired by c.TryAcquire is not balanced"
+		if n > 1 {
+			return
+		}
+		c.Release()
+	}
+}
+
+// switchBalanced releases in every arm (default included).
+func switchBalanced(c *verbs.Credits, mode int) {
+	if !c.TryAcquire() {
+		return
+	}
+	switch mode {
+	case 0:
+		c.Release()
+	default:
+		c.Release()
+	}
+}
+
+// selectBalanced releases in every select arm.
+func selectBalanced(c *verbs.Credits, a, b chan int) {
+	if !c.TryAcquire() {
+		return
+	}
+	select {
+	case <-a:
+		c.Release()
+	case <-b:
+		c.Release()
+	}
+}
+
+// condConsume posts inside the condition: the call runs on both edges, so
+// the reservation is consumed either way.
+func condConsume(q *verbs.QP) {
+	if !q.TryReserve(verbs.OpWrite) {
+		return
+	}
+	if !q.PostWrite(0, nil) {
+		doWork()
+	}
+}
+
+// escapeSilent stores the holder: tracking ends without a report (the
+// balance may live behind the store).
+func escapeSilent(q *verbs.QP, out []*verbs.QP) {
+	if !q.TryReserve(verbs.OpRead) {
+		return
+	}
+	out[0] = q
+}
+
+// statusReturned hands the acquisition status — and with it the balance
+// obligation — to the caller.
+func statusReturned(c *verbs.Credits) bool {
+	ok := c.TryAcquire()
+	return ok
+}
+
+// annotatedHandoff is a deliberate cross-function balance, waived.
+func annotatedHandoff(q *verbs.QP) {
+	//gem:credit-ok consumed by the completion path sharing this QP
+	if !q.TryReserve(verbs.OpRead) {
+		return
+	}
+	doWork()
+}
+
+// unprovenTry never refines the acquire: conservative silence.
+func unprovenTry(c *verbs.Credits) {
+	c.TryAcquire() // result dropped: postcheck's finding, not creditbal's
+}

@@ -1,0 +1,154 @@
+// cfgshapes.go seeds the control-flow shapes the old linear scan could not
+// see through — back edges, break/continue edges, goto, select arms — that
+// the CFG-based frameown pass must now track.
+package frameown
+
+// breakLeak exits the loop with the iteration's frame still owned: the
+// break edge skips the release.
+func breakLeak(n int) {
+	for i := 0; i < n; i++ {
+		buf := pool.Get(64)
+		if i == 3 {
+			break
+		}
+		pool.Put(buf)
+	}
+} // want "owned frame \"buf\" leaks"
+
+// continueLeak skips the release on the continue edge.
+func continueLeak(xs []int) {
+	for _, x := range xs {
+		buf := pool.Get(64)
+		if x < 0 {
+			continue
+		}
+		sink(buf)
+	}
+} // want "owned frame \"buf\" leaks"
+
+// labeledBreakLeak leaves both loops at once, frame in hand.
+func labeledBreakLeak(n, m int) {
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			buf := pool.Get(64)
+			if i+j > 4 {
+				break outer
+			}
+			sink(buf)
+		}
+	}
+} // want "owned frame \"buf\" leaks"
+
+// gotoRetryDouble hands the same frame to an owning callee once per retry:
+// the goto back edge carries the transferred state around.
+func gotoRetryDouble(tries int) {
+	buf := pool.Get(64)
+again:
+	sink(buf) // want "released or transferred twice"
+	tries--
+	if tries > 0 {
+		goto again
+	}
+}
+
+// selectArmLeak releases on one arm only; the other arm leaks.
+func selectArmLeak(a, b chan int) {
+	buf := pool.Get(64)
+	select {
+	case <-a:
+		pool.Put(buf)
+	case <-b:
+	}
+} // want "owned frame \"buf\" leaks"
+
+// nestedBranchLeak loses the frame on the inner else path.
+func nestedBranchLeak(a, b bool) {
+	buf := pool.Get(64)
+	if a {
+		if b {
+			pool.Put(buf)
+			return
+		}
+		return // want "owned frame \"buf\" leaks"
+	}
+	sink(buf)
+}
+
+// --- clean shapes the CFG pass must stay silent on ---
+
+// cleanBreak releases before leaving on every edge.
+func cleanBreak(n int) {
+	for i := 0; i < n; i++ {
+		buf := pool.Get(64)
+		if i == 3 {
+			pool.Put(buf)
+			break
+		}
+		sink(buf)
+	}
+}
+
+// cleanContinue recycles the refused frame before the continue edge.
+func cleanContinue(xs []int) {
+	for _, x := range xs {
+		buf := pool.Get(64)
+		if x < 0 {
+			pool.Put(buf)
+			continue
+		}
+		sink(buf)
+	}
+}
+
+// cleanGotoRetry re-acquires a fresh frame per retry round.
+func cleanGotoRetry(tries int) {
+	buf := pool.Get(64)
+again:
+	sink(buf)
+	tries--
+	if tries > 0 {
+		buf = pool.Get(64)
+		goto again
+	}
+}
+
+// cleanSelect balances every arm.
+func cleanSelect(a, b chan int) {
+	buf := pool.Get(64)
+	select {
+	case <-a:
+		pool.Put(buf)
+	case <-b:
+		sink(buf)
+	}
+}
+
+// cleanDeferCoversAllPaths: the deferred release covers every exit edge,
+// including early returns the linear scan used to special-case.
+func cleanDeferCoversAllPaths(fail, flaky bool) {
+	buf := pool.Get(64)
+	defer pool.Put(buf)
+	if fail {
+		return
+	}
+	if flaky {
+		borrow(buf)
+		return
+	}
+	borrow(buf)
+}
+
+// cleanSwitchFallthrough releases exactly once across fallthrough arms.
+func cleanSwitchFallthrough(mode int) {
+	buf := pool.Get(64)
+	switch mode {
+	case 0:
+		borrow(buf)
+		fallthrough
+	case 1:
+		sink(buf)
+	default:
+		pool.Put(buf)
+	}
+}

@@ -50,7 +50,7 @@ func loopDoubleSend(ports int) {
 	for i := 0; i < ports; i++ {
 		sink(frame) // want "released or transferred twice"
 	}
-}
+} // want "owned frame \"frame\" leaks"
 
 // builderLeak acquires from a builder instead of Pool.Get.
 func builderLeak(p *wire.RoCEParams, bad bool) {

@@ -1,0 +1,75 @@
+// Package postcheck seeds dropped-result violations of the verbs posting
+// API for the gemlint postcheck pass. Every flagged line carries a
+// `// want "regexp"` expectation checked by analysistest.
+package postcheck
+
+import "gem/internal/core/verbs"
+
+func dropped(q *verbs.QP) {
+	q.PostWrite(0, nil) // want "result of QP.PostWrite dropped"
+}
+
+func droppedRead(q *verbs.QP) {
+	q.PostRead(1, 0, 64, 1, verbs.CreditTry) // want "result of QP.PostRead dropped"
+}
+
+func blank(q *verbs.QP, tok uint64) {
+	_ = q.Repost(tok) // want "result of QP.Repost assigned to the blank identifier"
+}
+
+func blankMulti(q *verbs.QP, tok uint64) (int, bool) {
+	n, _ := 1, q.DeferFetchAdd(0, 1) // want "result of QP.DeferFetchAdd assigned to the blank identifier"
+	return n, false
+}
+
+func goDiscard(c *verbs.Credits) {
+	go c.TryAcquire() // want "result of Credits.TryAcquire discarded by go statement"
+}
+
+func deferDiscard(q *verbs.QP) {
+	defer q.TryReserve(verbs.OpRead) // want "result of QP.TryReserve discarded by defer"
+}
+
+func striped(s *verbs.StripedQP, key uint64) {
+	s.PostFetchAdd(key, 1) // want "result of StripedQP.PostFetchAdd dropped"
+}
+
+// consumed returns the result: fine.
+func consumed(q *verbs.QP) bool {
+	return q.PostFetchAdd(0, 1)
+}
+
+// handled branches on the result: fine.
+func handled(q *verbs.QP, off int, payload []byte) bool {
+	if !q.PostWrite(off, payload) {
+		return false
+	}
+	return true
+}
+
+// bound assigns the result to a real variable: fine (unused-variable
+// detection is the compiler's job).
+func bound(c *verbs.Credits) bool {
+	ok := c.TryAcquire()
+	return ok
+}
+
+// annotated is an intentional fire-and-forget site, waived.
+func annotated(q *verbs.QP) {
+	q.PostWrite(0, nil) //gem:post-ok best-effort hint write; loss is benign
+}
+
+// annotatedAbove carries the waiver on the line above the call.
+func annotatedAbove(s *verbs.StripedQP, key uint64) {
+	//gem:post-ok opportunistic doorbell coalesce
+	s.DeferFetchAdd(key, 7)
+}
+
+// unrelated calls that happen to share a name are not flagged.
+type fake struct{}
+
+func (fake) PostWrite(int, []byte) bool { return true }
+
+func unrelated(f fake) {
+	f.PostWrite(0, nil)
+}

@@ -1,0 +1,92 @@
+// Package psnsafe seeds PSN wraparound hazards for the gemlint psnsafe
+// pass. Every flagged line carries a `// want "regexp"` expectation checked
+// by analysistest.
+package psnsafe
+
+import "gem/internal/core/verbs"
+
+type wqe struct {
+	psn uint32
+}
+
+func rawLess(psn, ack uint32) bool {
+	return psn < ack // want "raw < ordering on PSN"
+}
+
+func rawGeqSelector(w *wqe, limit uint32) bool {
+	return w.psn >= limit // want "raw >= ordering on PSN"
+}
+
+func unmaskedAdd(psn uint32) uint32 {
+	return psn + 1 // want "unmasked \+ on PSN"
+}
+
+func unmaskedSub(psn, base uint32) uint32 {
+	return psn - base // want "unmasked - on PSN"
+}
+
+func increment(psn uint32) uint32 {
+	psn++ // want "incremented without masking"
+	return psn
+}
+
+func addAssign(w *wqe, n uint32) uint32 {
+	w.psn += n // want "modified with \+= without masking"
+	return w.psn
+}
+
+func convertedAtom(psn uint32) bool {
+	return uint32(psn) > 3 // want "raw > ordering on PSN"
+}
+
+// goodCompare uses the ring comparator: fine.
+func goodCompare(psn, ack uint32) bool {
+	return verbs.PSNAfter(psn, ack)
+}
+
+// maskedAdd re-enters the ring immediately: fine.
+func maskedAdd(psn, n uint32) uint32 {
+	return (psn + n) & verbs.PSNMask
+}
+
+// maskedLiteral spells the mask as a literal: fine.
+func maskedLiteral(nextPSN uint32) uint32 {
+	return (nextPSN + 1) & 0xFFFFFF
+}
+
+// maskedChain feeds through several +/- terms before masking: fine.
+func maskedChain(psn, a, b uint32) uint32 {
+	return (psn + a - b) & verbs.PSNMask
+}
+
+// maskedDistance is the PSNAfter idiom itself: the subtraction is masked,
+// and the comparison operand is the masked distance, not a PSN.
+func maskedDistance(psn, base uint32) bool {
+	return (psn-base)&verbs.PSNMask < 1<<23
+}
+
+// equality never wraps wrong: fine.
+func equality(psn, ack uint32) bool {
+	return psn != ack
+}
+
+// notAPSN: names without "psn" are out of scope regardless of type.
+func notAPSN(a, b uint32) bool {
+	return a < b
+}
+
+// wrongType: a psn-named int is not a ring value (offsets, counts).
+func wrongType(psnCount int) bool {
+	return psnCount < 4
+}
+
+// annotated is a waived diagnostic counter.
+func annotated(psnSeen uint32) uint32 {
+	//gem:psn-ok monotonic diagnostics counter, not a ring position
+	return psnSeen + 1
+}
+
+// annotatedSameLine carries the waiver on the flagged line itself.
+func annotatedSameLine(psn uint32) bool {
+	return psn < 100 //gem:psn-ok pre-wrap bootstrap check
+}

@@ -299,6 +299,7 @@ func (t *LookupTable) LookupPrio(ctx *switchsim.Context, frame []byte, pkt *wire
 	home := t.striped.Home(uint64(idx))
 	if len(t.credits) > 0 && t.needsMissRead(idx) {
 		home.ReapExpired()
+		//gem:credit-ok reservation is consumed by the Post* in depositAndFetch/recircFetch below, or dropped by depositAndFetch's oversize bail
 		if !home.TryReserve(verbs.OpRead) {
 			if prio == switchsim.PriorityLow {
 				t.Stats.ShedMisses++
@@ -363,7 +364,11 @@ func (t *LookupTable) depositAndFetch(ctx *switchsim.Context, frame []byte, idx 
 	deposit[0] = byte(len(frame) >> 8)
 	deposit[1] = byte(len(frame))
 	copy(deposit[2:], frame)
-	t.striped.PostWrite(uint64(idx), 8, deposit) // after the 8-byte action field
+	// The deposit lands after the 8-byte action field. It is fire-and-forget:
+	// a refused WRITE leaves a stale entry that the fetch-side length check
+	// catches (BadEntries) — no retry state to keep on the switch.
+	//gem:post-ok refused deposit self-heals via the fetch-side BadEntries check
+	t.striped.PostWrite(uint64(idx), 8, deposit)
 	wire.DefaultPool.Put(deposit)
 	t.Stats.Deposits++
 	// CreditLoose: the fetch goes out whether or not a credit is held — the
@@ -372,6 +377,7 @@ func (t *LookupTable) depositAndFetch(ctx *switchsim.Context, frame []byte, idx 
 	// credit after MissTimeout — self-healing either way.
 	n := t.cfg.EntrySize()
 	ch := t.chans[t.striped.ShardOf(uint64(idx))]
+	//gem:post-ok loose-mode fetch: a refusal is metered by the reaper, not handled here
 	t.striped.PostRead(uint64(idx), n, ch.RespPackets(n), verbs.CreditLoose)
 	ctx.Drop() // original is gone: it lives in remote memory now
 }
@@ -394,6 +400,7 @@ func (t *LookupTable) recircFetch(ctx *switchsim.Context, frame []byte, idx, pas
 		// CreditAdmit: consume the admission reservation (or take a fresh
 		// credit on a re-issue after a reap); a refusal skips the fetch and
 		// the parked packet simply comes around again.
+		//gem:post-ok refusal skips the fetch; the recirculating packet retries it
 		t.striped.PostRead(uint64(idx), 8, 1, verbs.CreditAdmit)
 	}
 	t.Stats.RecircPasses++

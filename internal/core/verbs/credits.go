@@ -111,6 +111,7 @@ func (c *Credits) TryAcquire() bool {
 		c.Stats.Refused++
 		return false
 	}
+	//gem:credit-ok TryAcquire IS the acquisition primitive: the credit is handed to the caller
 	c.Acquire()
 	return true
 }

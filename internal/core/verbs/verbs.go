@@ -249,6 +249,7 @@ func (q *QP) admit(op OpType) (took, ok bool) {
 		q.reserve = false
 		return true, true
 	}
+	//gem:credit-ok admit hands the credit to the posting path; completion or the reaper releases it
 	if q.credits.TryAcquire() {
 		return true, true
 	}
