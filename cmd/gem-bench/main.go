@@ -31,7 +31,7 @@ import (
 
 func main() {
 	runList := flag.String("run", "all",
-		"comma-separated experiment ids (E1..E7, E8a..E8f, E9, E10, E11) or 'all'")
+		"comma-separated experiment ids (E1..E7, E8a..E8f, E9, E10, E11, E12) or 'all'")
 	quick := flag.Bool("quick", false, "reduced parameters for a fast smoke run")
 	snapshot := flag.String("snapshot", "",
 		"write the E10 run's aggregated robustness counters as JSON to this file")
@@ -46,7 +46,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *runList == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8A", "E8B", "E8C", "E8D", "E8E", "E8F", "E9", "E10", "E11"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8A", "E8B", "E8C", "E8D", "E8E", "E8F", "E9", "E10", "E11", "E12"} {
 			want[id] = true
 		}
 	} else {
@@ -182,6 +182,10 @@ func main() {
 		}},
 		{"E11", func() *harness.Table {
 			t, _ := harness.RunE11(harness.DefaultE11Config())
+			return t
+		}},
+		{"E12", func() *harness.Table {
+			t, _ := harness.RunE12(harness.DefaultE12Config())
 			return t
 		}},
 	}

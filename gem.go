@@ -90,9 +90,33 @@ type (
 	// FAAs coalescing until a size / age / delta trigger flushes them).
 	DoorbellConfig = verbs.DoorbellConfig
 	// TransportStats is a QP's counter block — posted / completed / stale /
-	// retried / refused / expired per operation type, Add-mergeable.
+	// retried / refused / expired per operation type, plus typed error
+	// completions and the post→CQE latency histogram, Add-mergeable.
 	// Testbed.Stats aggregates it as StatsSnapshot.Transport.
 	TransportStats = verbs.Stats
+	// TransportErrors are the typed error-completion counters (NAK-PSN,
+	// NAK-RKey, RetryExhausted, CreditRefused, FailoverExhausted, Canceled).
+	TransportErrors = verbs.ErrStats
+	// LatencyHist is the allocation-free log2 post→CQE latency histogram
+	// embedded in TransportStats.
+	LatencyHist = verbs.LatencyHist
+	// CQStatus classifies a completion (OK, Stale, or a typed error).
+	CQStatus = verbs.CQStatus
+
+	// ConsistencyMode is a primitive's state-access contract: Strict,
+	// BoundedStaleness or Eventual.
+	ConsistencyMode = core.ConsistencyMode
+	// StalenessBound parameterizes BoundedStaleness (MaxAge, MaxDelta).
+	StalenessBound = core.StalenessBound
+	// Supervisor is the automatic degrade/recover health state machine
+	// (Healthy → Suspect → Degraded → Recovering) over governed primitives.
+	Supervisor = core.Supervisor
+	// SupervisorConfig tunes its thresholds and hysteresis.
+	SupervisorConfig = core.SupervisorConfig
+	// SupervisorTarget wires one governed primitive into the supervisor.
+	SupervisorTarget = core.SupervisorTarget
+	// HealthState is a governed target's position in the state machine.
+	HealthState = core.HealthState
 
 	// Host is a plain server endpoint.
 	Host = netsim.Host
@@ -124,6 +148,13 @@ var (
 	// NewFailover builds a primary+standby channel group with data-plane
 	// heartbeats and automatic switchover.
 	NewFailover = core.NewFailover
+	// NewSupervisor builds the consistency supervisor on an engine.
+	NewSupervisor = core.NewSupervisor
+	// GovernStateStore / GovernLookupTable / GovernPacketBuffer build
+	// supervisor targets for the three primitives.
+	GovernStateStore  = core.GovernStateStore
+	GovernLookupTable = core.GovernLookupTable
+	GovernPacketBuffer = core.GovernPacketBuffer
 	// SetDSCPAction / SetDstIPAction / DropAction build lookup actions.
 	SetDSCPAction  = core.SetDSCPAction
 	SetDstIPAction = core.SetDstIPAction
@@ -144,6 +175,26 @@ const (
 	// LookupRecirculate parks the packet on the recirculation path and
 	// fetches only the action (§7 alternative).
 	LookupRecirculate = core.LookupRecirculate
+)
+
+// Consistency modes for SetConsistencyMode and SupervisorConfig.
+const (
+	// Strict is the synchronous contract: every admitted update heads for
+	// remote memory as soon as credits allow.
+	Strict = core.Strict
+	// BoundedStaleness proceeds on the local copy and flushes before the
+	// configured age or delta bound is exceeded.
+	BoundedStaleness = core.BoundedStaleness
+	// Eventual accumulates locally and reconciles opportunistically.
+	Eventual = core.Eventual
+)
+
+// Health states reported by Supervisor.State.
+const (
+	Healthy    = core.Healthy
+	Suspect    = core.Suspect
+	Degraded   = core.Degraded
+	Recovering = core.Recovering
 )
 
 // Wire encapsulation versions for ChannelSpec.

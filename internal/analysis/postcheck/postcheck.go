@@ -11,6 +11,13 @@
 //   - a go/defer of such a call, whose result is unobservable by
 //     construction.
 //
+// Completion consumers get the same treatment: QP.ReadResponse and
+// QP.CompleteExact return a typed CQStatus (or the matched bool) that
+// distinguishes progress, duplicates, and typed errors — discarding the
+// whole result, or blanking exactly the status position of the tuple
+// (`cqe, data, _ := qp.ReadResponse(pkt)`), silently conflates a NAK with a
+// clean completion.
+//
 // Intentional fire-and-forget sites (a best-effort hint write whose loss is
 // benign) are waived with //gem:post-ok on the call's line or the line
 // above.
@@ -53,6 +60,20 @@ var mustConsume = map[string]string{
 	analysis.VerbsMethod("StripedQP", "Repost"):        "StripedQP.Repost",
 }
 
+// statusResult describes a completion call whose multi-value return carries
+// a CQ status (or matched bool) that must not be discarded.
+type statusResult struct {
+	label string
+	idx   int // position of the status in the result tuple
+	n     int // total results
+}
+
+// statusConsume maps completion consumers to their status position.
+var statusConsume = map[string]statusResult{
+	analysis.VerbsMethod("QP", "ReadResponse"):  {"QP.ReadResponse", 2, 3},
+	analysis.VerbsMethod("QP", "CompleteExact"): {"QP.CompleteExact", 1, 2},
+}
+
 func run(pass *analysis.Pass) error {
 	ann := analysis.LineAnnotations(pass.Fset, pass.Files, Tag)
 
@@ -73,6 +94,24 @@ func run(pass *analysis.Pass) error {
 		return label, call
 	}
 
+	// statusTarget resolves expr to a completion call whose status result
+	// must be consumed, or (zero, nil).
+	statusTarget := func(expr ast.Expr) (statusResult, *ast.CallExpr) {
+		call, ok := ast.Unparen(expr).(*ast.CallExpr)
+		if !ok {
+			return statusResult{}, nil
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil {
+			return statusResult{}, nil
+		}
+		sr, ok := statusConsume[fn.FullName()]
+		if !ok {
+			return statusResult{}, nil
+		}
+		return sr, call
+	}
+
 	flag := func(call *ast.CallExpr, format string, args ...any) {
 		if analysis.Annotated(pass.Fset, ann, call.Pos()) {
 			return
@@ -87,15 +126,34 @@ func run(pass *analysis.Pass) error {
 				if label, call := target(s.X); call != nil {
 					flag(call, "result of %s dropped: a false return is a refused op that is silently lost; handle it or annotate //gem:post-ok", label)
 				}
+				if sr, call := statusTarget(s.X); call != nil {
+					flag(call, "typed CQE status of %s discarded: a NAK or cancel completes indistinguishably from success; handle it or annotate //gem:post-ok", sr.label)
+				}
 			case *ast.GoStmt:
 				if label, call := target(s.Call); call != nil {
 					flag(call, "result of %s discarded by go statement: a refusal can never be observed", label)
+				}
+				if sr, call := statusTarget(s.Call); call != nil {
+					flag(call, "typed CQE status of %s discarded by go statement: an error completion can never be observed", sr.label)
 				}
 			case *ast.DeferStmt:
 				if label, call := target(s.Call); call != nil {
 					flag(call, "result of %s discarded by defer: a refusal can never be observed", label)
 				}
+				if sr, call := statusTarget(s.Call); call != nil {
+					flag(call, "typed CQE status of %s discarded by defer: an error completion can never be observed", sr.label)
+				}
 			case *ast.AssignStmt:
+				// Tuple shape: cqe, data, _ := qp.ReadResponse(pkt) — exactly
+				// the status position blanked.
+				if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+					if sr, call := statusTarget(s.Rhs[0]); call != nil && len(s.Lhs) == sr.n {
+						if id, ok := ast.Unparen(s.Lhs[sr.idx]).(*ast.Ident); ok && id.Name == "_" {
+							flag(call, "typed CQE status of %s assigned to the blank identifier: a NAK or cancel is silently conflated with success; handle it or annotate //gem:post-ok", sr.label)
+						}
+					}
+					return true
+				}
 				if len(s.Lhs) != len(s.Rhs) {
 					return true
 				}

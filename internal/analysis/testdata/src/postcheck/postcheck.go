@@ -3,7 +3,10 @@
 // `// want "regexp"` expectation checked by analysistest.
 package postcheck
 
-import "gem/internal/core/verbs"
+import (
+	"gem/internal/core/verbs"
+	"gem/internal/wire"
+)
 
 func dropped(q *verbs.QP) {
 	q.PostWrite(0, nil) // want "result of QP.PostWrite dropped"
@@ -32,6 +35,51 @@ func deferDiscard(q *verbs.QP) {
 
 func striped(s *verbs.StripedQP, key uint64) {
 	s.PostFetchAdd(key, 1) // want "result of StripedQP.PostFetchAdd dropped"
+}
+
+// --- typed CQE status consumers ---
+
+func statusDropped(q *verbs.QP, pkt *wire.Packet) {
+	q.ReadResponse(pkt) // want "typed CQE status of QP.ReadResponse discarded"
+}
+
+func statusDroppedExact(q *verbs.QP, psn uint32) {
+	q.CompleteExact(psn) // want "typed CQE status of QP.CompleteExact discarded"
+}
+
+func statusBlankTuple(q *verbs.QP, pkt *wire.Packet) ([]byte, verbs.CQE) {
+	cqe, data, _ := q.ReadResponse(pkt) // want "typed CQE status of QP.ReadResponse assigned to the blank identifier"
+	return data, cqe
+}
+
+func statusBlankExact(q *verbs.QP, psn uint32) verbs.CQE {
+	cqe, _ := q.CompleteExact(psn) // want "typed CQE status of QP.CompleteExact assigned to the blank identifier"
+	return cqe
+}
+
+func statusGoDiscard(q *verbs.QP, psn uint32) {
+	go q.CompleteExact(psn) // want "typed CQE status of QP.CompleteExact discarded by go statement"
+}
+
+func statusDeferDiscard(q *verbs.QP, pkt *wire.Packet) {
+	defer q.ReadResponse(pkt) // want "typed CQE status of QP.ReadResponse discarded by defer"
+}
+
+// statusConsumed binds the status to a real variable: fine.
+func statusConsumed(q *verbs.QP, pkt *wire.Packet) verbs.CQStatus {
+	_, _, status := q.ReadResponse(pkt)
+	return status
+}
+
+// statusHandled blanks the payload but branches on the status: fine.
+func statusHandled(q *verbs.QP, psn uint32) bool {
+	_, ok := q.CompleteExact(psn)
+	return ok
+}
+
+// statusAnnotated is a deliberate duplicate-drain site, waived.
+func statusAnnotated(q *verbs.QP, pkt *wire.Packet) {
+	q.ReadResponse(pkt) //gem:post-ok duplicate drain; status already counted upstream
 }
 
 // consumed returns the result: fine.

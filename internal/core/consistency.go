@@ -1,0 +1,59 @@
+package core
+
+import "gem/internal/sim"
+
+// ConsistencyMode is the per-primitive state-access contract — the spectrum
+// from "Relaxing state-access constraints in stateful programmable data
+// planes" (PAPERS.md) made operational: under faults or overload the switch
+// can keep forwarding on a possibly-stale local copy and reconcile with
+// remote memory later, trading exactness for availability and throughput.
+type ConsistencyMode uint8
+
+const (
+	// Strict is today's behavior: every admitted update heads for remote
+	// memory as soon as credits allow, and the primitive's exactness
+	// guarantee (remote + pending == admitted) holds continuously.
+	Strict ConsistencyMode = iota
+	// BoundedStaleness proceeds on the local copy and guarantees a flush is
+	// initiated before the staleness bound is hit: when the locally
+	// accumulated delta reaches MaxDelta, or the oldest unflushed update
+	// turns MaxAge old, whichever comes first.
+	BoundedStaleness
+	// Eventual accumulates locally and reconciles opportunistically: deltas
+	// flush only when a shard's window is fully idle, coalescing maximally.
+	// Nothing is shed — absorbing the update stream locally is the contract.
+	Eventual
+)
+
+// String names the mode for tables and diagnostics.
+func (m ConsistencyMode) String() string {
+	switch m {
+	case Strict:
+		return "strict"
+	case BoundedStaleness:
+		return "bounded"
+	case Eventual:
+		return "eventual"
+	}
+	return "unknown"
+}
+
+// StalenessBound parameterizes BoundedStaleness.
+type StalenessBound struct {
+	// MaxAge bounds how long an accumulated update may wait before the store
+	// initiates its flush (an age timer fires at MaxAge after the oldest
+	// unflushed update). Default 100 µs.
+	MaxAge sim.Duration
+	// MaxDelta bounds the locally accumulated sum before a flush is
+	// initiated. Default 64.
+	MaxDelta uint64
+}
+
+func (b *StalenessBound) fillDefaults() {
+	if b.MaxAge <= 0 {
+		b.MaxAge = 100 * sim.Microsecond
+	}
+	if b.MaxDelta == 0 {
+		b.MaxDelta = 64
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"gem/internal/core/verbs"
 	"gem/internal/sim"
 	"gem/internal/switchsim"
 	"gem/internal/wire"
@@ -49,6 +50,11 @@ type Failover struct {
 	// OnRecover fires when the active member answers again after the group
 	// was Exhausted.
 	OnRecover func(ch *Channel)
+	// CQ, when set, receives a typed CQFailoverExhausted completion each time
+	// failover looks for a standby and finds none — the observable form of
+	// the Exhausted flag, so a supervisor can react to the dead-end on its
+	// error-rate surface instead of polling. Nil keeps the legacy behavior.
+	CQ *verbs.QP
 
 	// Exhausted is set when failover finds no standby left: every member is
 	// presumed dead and the group is degraded to probing until something
@@ -207,8 +213,12 @@ func (f *Failover) failover() {
 		// No standby left. Degrade explicitly: remember we are exhausted,
 		// reset the miss counter, and keep probing the (dead) active member
 		// so recovery is noticed — do not count phantom failovers.
+		wasExhausted := f.Exhausted
 		f.Exhausted = true
 		f.misses = 0
+		if f.CQ != nil && !wasExhausted {
+			f.CQ.CompleteError(verbs.OpRead, uint64(f.Active().PSN()), f.Active().PSN(), verbs.CQFailoverExhausted)
+		}
 		return
 	}
 	old := f.members[f.active]

@@ -121,6 +121,9 @@ type LookupStats struct {
 	// DegradedEntries / DegradedExits count SetDegraded edges.
 	DegradedEntries int64
 	DegradedExits   int64
+	// ModeChanges counts SetConsistencyMode transitions between distinct
+	// modes.
+	ModeChanges int64
 }
 
 // LookupTable is the lookup-table primitive (§4): a match-action table in
@@ -147,6 +150,7 @@ type LookupTable struct {
 	// remote memory is unreachable. Nil means degraded misses drop.
 	SlowPath func(key wire.FlowKey) (LookupAction, bool)
 	degraded bool
+	mode     ConsistencyMode
 
 	// pendingActions holds actions fetched by the recirculation variant,
 	// keyed by table index, until the parked packet comes around again.
@@ -265,6 +269,27 @@ func (t *LookupTable) SetDegraded(on bool) {
 
 // Degraded reports whether the table is in degraded mode.
 func (t *LookupTable) Degraded() bool { return t.degraded }
+
+// SetConsistencyMode maps the consistency spectrum onto the table's two
+// postures: Eventual serves every miss from the CPU slow path (no remote
+// traffic — the local answer may be stale), while Strict and
+// BoundedStaleness resolve misses remotely (the fetch itself guarantees
+// freshness, so the table has no intermediate posture to bound).
+func (t *LookupTable) SetConsistencyMode(m ConsistencyMode) {
+	if m != t.mode {
+		t.Stats.ModeChanges++
+	}
+	t.mode = m
+	t.SetDegraded(m == Eventual)
+}
+
+// Mode reports the table's current consistency contract.
+func (t *LookupTable) Mode() ConsistencyMode { return t.mode }
+
+// Reconcile is the supervisor's recovery hook: degraded lookups kept no
+// local backlog (the slow path answered them terminally), so recovery is
+// just re-enabling remote resolution.
+func (t *LookupTable) Reconcile() { t.SetConsistencyMode(Strict) }
 
 // Lookup is the data-plane action: resolve the action for frame (whose
 // parsed form is pkt) and apply it. Cache hits complete locally; misses go

@@ -49,6 +49,12 @@ type Retransmitter struct {
 	// stops resending until an ACK retires a frame or Retarget moves the
 	// window to a new channel.
 	OnExhausted func()
+	// CQ, when set, receives typed error completions for transport faults:
+	// CQNakPSN/CQNakRKey when the responder NAKs, CQRetryExhausted when the
+	// retry budget runs out. This replaces boolean polling as the observable
+	// fault surface — a supervisor watches the QP's error stats instead of
+	// each engine's flags. Nil keeps the legacy silent behavior.
+	CQ *verbs.QP
 
 	srtt, rttvar sim.Duration
 	haveSample   bool
@@ -77,6 +83,7 @@ type Retransmitter struct {
 
 type relFrame struct {
 	psn    uint32
+	op     verbs.OpType
 	frame  []byte
 	sentAt sim.Time
 	// rexmit marks frames that have been resent at least once; their ACKs
@@ -126,7 +133,7 @@ func (r *Retransmitter) FetchAdd(offset int, delta uint64) uint32 {
 	va := r.ch.VA(offset, 8)
 	p := r.chParams(psn)
 	frame := wire.BuildFetchAddInto(wire.DefaultPool, &p, va, r.ch.RKey, delta)
-	r.track(psn, frame)
+	r.track(psn, frame, verbs.OpFetchAdd)
 	return psn
 }
 
@@ -136,7 +143,7 @@ func (r *Retransmitter) Write(offset int, payload []byte) uint32 {
 	va := r.ch.VA(offset, len(payload))
 	p := r.chParams(psn)
 	frame := wire.BuildWriteOnlyInto(wire.DefaultPool, &p, va, r.ch.RKey, payload)
-	r.track(psn, frame)
+	r.track(psn, frame, verbs.OpWrite)
 	return psn
 }
 
@@ -147,6 +154,11 @@ func (r *Retransmitter) CanSend() bool { return len(r.unacked) < r.Window }
 // Exhausted reports whether the retry budget is spent and the retransmitter
 // is waiting for an ACK or a Retarget.
 func (r *Retransmitter) Exhausted() bool { return r.exhausted }
+
+// BackoffLevel reports the current exponential-backoff level: consecutive
+// no-progress timeout rounds (0 when progress is being made). A supervisor
+// reads it as an early-warning signal before the retry budget is spent.
+func (r *Retransmitter) BackoffLevel() int { return r.backoff }
 
 // SRTT returns the smoothed RTT estimate (0 before the first sample).
 func (r *Retransmitter) SRTT() sim.Duration { return r.srtt }
@@ -166,19 +178,19 @@ func (r *Retransmitter) chParams(psn uint32) wire.RoCEParams {
 // enters the fabric.
 //
 //gem:owns
-func (r *Retransmitter) track(psn uint32, frame []byte) {
+func (r *Retransmitter) track(psn uint32, frame []byte, op verbs.OpType) {
 	// Copy to the wire first: once trackOnly owns the master, this function
 	// must not touch it again.
 	r.injectCopy(frame)
-	r.trackOnly(psn, frame)
+	r.trackOnly(psn, frame, op)
 }
 
 // trackOnly stores frame as an unacked master without sending; the
 // retransmitter owns it until the PSN retires (ackThrough recycles it).
 //
 //gem:owns
-func (r *Retransmitter) trackOnly(psn uint32, frame []byte) {
-	r.unacked = append(r.unacked, relFrame{psn: psn, frame: frame, sentAt: r.sw.Engine.Now()})
+func (r *Retransmitter) trackOnly(psn uint32, frame []byte, op verbs.OpType) {
+	r.unacked = append(r.unacked, relFrame{psn: psn, op: op, frame: frame, sentAt: r.sw.Engine.Now()})
 	r.armTimer()
 }
 
@@ -268,16 +280,34 @@ func (r *Retransmitter) resendAll() {
 
 // escalate fires the exhaustion callback once and parks the retransmitter:
 // masters stay tracked (Retarget can still move them) but nothing is resent
-// until progress or a retarget resets the state.
+// until progress or a retarget resets the state. The fault surfaces on the
+// bound CQ as a CQRetryExhausted completion before OnExhausted runs, so a
+// supervisor sees the typed error even when the callback triggers failover.
 func (r *Retransmitter) escalate() {
 	if r.exhausted {
 		return
 	}
 	r.exhausted = true
 	r.Escalations++
+	r.reportError(verbs.CQRetryExhausted)
 	if r.OnExhausted != nil {
 		r.OnExhausted()
 	}
+}
+
+// reportError surfaces a stream-level transport fault as a typed CQE on the
+// bound CQ (no-op when unbound). The CQE carries the oldest unacked
+// request's op and PSN — the position the stream is stuck at; its token is
+// that PSN, since stream faults are not bound to a caller token.
+func (r *Retransmitter) reportError(st verbs.CQStatus) {
+	if r.CQ == nil {
+		return
+	}
+	op, psn := verbs.OpFetchAdd, r.ch.PSN()
+	if len(r.unacked) > 0 {
+		op, psn = r.unacked[0].op, r.unacked[0].psn
+	}
+	r.CQ.CompleteError(op, uint64(psn), psn, st)
 }
 
 // Unacked reports the number of tracked, unacknowledged requests.
@@ -295,6 +325,14 @@ func (r *Retransmitter) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet)
 			// needlessly resends (and the server re-executes) the prefix.
 			e := pkt.BTH.PSN
 			r.retire((e - 1) & verbs.PSNMask)
+			// Surface the fault as a typed CQE: a sequence syndrome means
+			// the receiver saw a gap (CQNakPSN); any other NAK rejects the
+			// request itself (CQNakRKey).
+			if pkt.AETH.Syndrome == wire.AETHNakPSNSeq {
+				r.reportError(verbs.CQNakPSN)
+			} else {
+				r.reportError(verbs.CQNakRKey)
+			}
 			if len(r.unacked) > 0 && verbs.PSNAfter(r.unacked[0].psn, e) {
 				// Sequence desync: the NIC expects a PSN we no longer hold —
 				// its frame moved to another server in a Retarget (failback

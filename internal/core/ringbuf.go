@@ -116,6 +116,9 @@ type PacketBufferStats struct {
 	// DegradedEntries / DegradedExits count SetDegraded edges.
 	DegradedEntries int64
 	DegradedExits   int64
+	// ModeChanges counts SetConsistencyMode transitions between distinct
+	// modes.
+	ModeChanges int64
 }
 
 // PacketBuffer is the packet-buffer primitive (§4): a ring buffer in remote
@@ -160,6 +163,7 @@ type PacketBuffer struct {
 	// draining. The ordering rule is knowingly violated — that is the
 	// degradation contract when remote memory is unreliable.
 	degraded bool
+	mode     ConsistencyMode
 
 	byQPN map[uint32]int // channel ID → index in chans
 
@@ -286,6 +290,30 @@ func (b *PacketBuffer) SetDegraded(on bool) {
 
 // Degraded reports whether spilling is suspended.
 func (b *PacketBuffer) Degraded() bool { return b.degraded }
+
+// SetConsistencyMode maps the consistency spectrum onto the buffer's two
+// postures: Eventual bypasses the remote ring (frames emit directly, losing
+// the ordering detour), Strict and BoundedStaleness spill normally — the
+// ring holds packets, not reconcilable state, so there is no intermediate
+// bounded posture.
+func (b *PacketBuffer) SetConsistencyMode(m ConsistencyMode) {
+	if m != b.mode {
+		b.Stats.ModeChanges++
+	}
+	b.mode = m
+	b.SetDegraded(m == Eventual)
+}
+
+// Mode reports the buffer's current consistency contract.
+func (b *PacketBuffer) Mode() ConsistencyMode { return b.mode }
+
+// Reconcile is the supervisor's recovery hook: stored entries drain on
+// their own (SetDegraded docs), so recovery is just re-enabling the spill
+// path and pulling whatever is ready.
+func (b *PacketBuffer) Reconcile() {
+	b.SetConsistencyMode(Strict)
+	b.maybeLoad()
+}
 
 // ChannelCredits exposes channel i's admission window for introspection.
 func (b *PacketBuffer) ChannelCredits(i int) *Credits { return b.striped.Shard(i).Credits() }

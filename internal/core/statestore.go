@@ -95,6 +95,19 @@ type StateStoreStats struct {
 	// degraded posture (SetDegraded edges plus Reconcile exits).
 	DegradedEntries int64
 	DegradedExits   int64
+	// ModeChanges counts SetConsistencyMode transitions between distinct
+	// modes (a supervisor relaxing and restoring the contract).
+	ModeChanges int64
+	// BoundFlushes counts flushes initiated by a staleness bound (MaxDelta
+	// crossed, or the MaxAge timer fired with deltas pending).
+	BoundFlushes int64
+	// MaxStalenessNs is the oldest age (in ns) any locally accumulated delta
+	// had reached when a bound flush was initiated — the observable form of
+	// the MaxAge guarantee: it never exceeds the configured bound.
+	MaxStalenessNs int64
+	// MaxPendingDelta is the peak locally accumulated sum ever observed —
+	// under BoundedStaleness, how far the local copy drifted from remote.
+	MaxPendingDelta uint64
 }
 
 // StateStore is the state-store primitive (§4): per-flow counters in remote
@@ -130,6 +143,18 @@ type StateStore struct {
 	// Reconcile. This is the store's explicit failure posture while its
 	// server is known-dead and no standby remains.
 	degraded bool
+
+	// mode is the store's consistency contract (Strict by default); bound
+	// parameterizes BoundedStaleness. oldestPendingAt tracks when the current
+	// backlog started (for the MaxAge trigger and staleness accounting);
+	// ageArmed notes a scheduled age-timer event.
+	mode            ConsistencyMode
+	bound           StalenessBound
+	oldestPendingAt sim.Time
+	ageArmed        bool
+	// draining marks a bound flush cut short by the window: ACKs keep
+	// draining the backlog until it empties, then accumulation resumes.
+	draining bool
 
 	// credits are the per-channel shared admission windows (EnsureCredits):
 	// one credit per in-flight FAA, held and released by the shard's QP.
@@ -256,9 +281,15 @@ func (s *StateStore) RebindShard(si int, ch *Channel) {
 // for retargeting rt on failover.
 func (s *StateStore) SetRetransmitter(rt *Retransmitter) { s.SetShardRetransmitter(0, rt) }
 
-// SetShardRetransmitter routes shard si's FAAs through rt.
+// SetShardRetransmitter routes shard si's FAAs through rt. The shard's QP
+// becomes rt's completion queue (unless the caller wired one already), so
+// NAKs and retry-budget exhaustion surface as typed error completions in the
+// store's transport stats.
 func (s *StateStore) SetShardRetransmitter(si int, rt *Retransmitter) {
 	s.rts[si] = rt
+	if rt.CQ == nil {
+		rt.CQ = s.striped.Shard(si)
+	}
 	s.striped.Shard(si).SetReliable(rt)
 }
 
@@ -276,15 +307,48 @@ func (s *StateStore) SetDegraded(on bool) {
 // Degraded reports whether the store is accumulating locally only.
 func (s *StateStore) Degraded() bool { return s.degraded }
 
-// Reconcile ends a degraded interval: the backlog accumulated on the switch
-// flushes to remote memory as outstanding slots allow.
-func (s *StateStore) Reconcile() {
-	if !s.degraded {
-		return
+// SetConsistencyMode switches the store's state-access contract. Entering
+// BoundedStaleness fills b's defaults and arms the staleness machinery for
+// whatever backlog already exists; returning to Strict flushes the backlog a
+// relaxed mode accumulated (the synchronous contract resumes only once the
+// local copy converges). b is ignored for Strict and Eventual.
+func (s *StateStore) SetConsistencyMode(m ConsistencyMode, b StalenessBound) {
+	prev := s.mode
+	if m == BoundedStaleness {
+		b.fillDefaults()
+		s.bound = b
 	}
-	s.degraded = false
-	s.Stats.Reconciles++
-	s.Stats.DegradedExits++
+	s.mode = m
+	if m != prev {
+		s.Stats.ModeChanges++
+	}
+	switch {
+	case m == BoundedStaleness && s.pendingSum > 0:
+		s.armAgeTimer()
+	case m == Strict && prev != Strict:
+		s.reapLossy()
+		s.flush()
+	}
+}
+
+// Mode reports the store's current consistency contract.
+func (s *StateStore) Mode() ConsistencyMode { return s.mode }
+
+// Bound reports the effective staleness bound (meaningful in
+// BoundedStaleness mode).
+func (s *StateStore) Bound() StalenessBound { return s.bound }
+
+// Reconcile converges the local copy with remote memory: any degraded
+// interval ends (through the single SetDegraded exit edge, so DegradedExits
+// counts the transition exactly once however recovery is spelled) and the
+// accumulated backlog flushes as outstanding slots allow. Safe to call
+// whether or not the store is degraded — a supervisor fires it on every
+// recovery without tracking which posture caused the backlog.
+func (s *StateStore) Reconcile() {
+	if s.degraded {
+		s.Stats.Reconciles++
+		s.SetDegraded(false)
+	}
 	s.reapLossy()
 	s.flush()
 }
@@ -358,8 +422,11 @@ func (s *StateStore) UpdatePrio(idx int, delta uint64, prio switchsim.Priority) 
 	if idx < 0 || idx >= s.cfg.Counters {
 		panic(fmt.Sprintf("core: counter index %d out of range", idx))
 	}
+	// Eventual mode never sheds: absorbing the update stream into the local
+	// copy is the contract, and the pending table (PendingSlots) is the only
+	// capacity limit.
 	if prio == switchsim.PriorityLow && s.cfg.ShedPendingSlots > 0 &&
-		len(s.pending) >= s.cfg.ShedPendingSlots {
+		s.mode != Eventual && len(s.pending) >= s.cfg.ShedPendingSlots {
 		// Shed before the update is observed: the counters below only ever
 		// account for admitted traffic, so "admitted == remote + pending"
 		// stays exact.
@@ -372,9 +439,23 @@ func (s *StateStore) UpdatePrio(idx int, delta uint64, prio switchsim.Priority) 
 		s.accumulate(idx, delta)
 		return
 	}
-	s.reapLossy()
-	s.accumulate(idx, delta)
-	s.flush()
+	switch s.mode {
+	case BoundedStaleness:
+		// Proceed on the local copy; flush only when a bound trips. The
+		// MaxAge timer (armed by accumulate's backlog-start edge) covers the
+		// age bound, the delta check here covers the volume bound.
+		s.accumulate(idx, delta)
+		if s.pendingSum >= s.bound.MaxDelta {
+			s.boundFlush()
+		}
+	case Eventual:
+		s.accumulate(idx, delta)
+		s.opportunisticFlush()
+	default:
+		s.reapLossy()
+		s.accumulate(idx, delta)
+		s.flush()
+	}
 }
 
 func (s *StateStore) accumulate(idx int, delta uint64) {
@@ -386,9 +467,71 @@ func (s *StateStore) accumulate(idx int, delta uint64) {
 		si := s.striped.ShardOf(uint64(idx))
 		s.dirty[si] = append(s.dirty[si], idx)
 	}
+	if s.pendingSum == 0 {
+		// Backlog starts now: remember when, for the staleness accounting,
+		// and arm the MaxAge trigger if the mode bounds it.
+		s.oldestPendingAt = s.sw.Engine.Now()
+		s.armAgeTimer()
+	}
 	s.pending[idx] += delta
 	s.pendingSum += delta
+	if s.pendingSum > s.Stats.MaxPendingDelta {
+		s.Stats.MaxPendingDelta = s.pendingSum
+	}
 	s.Stats.Accumulated += int64(delta)
+}
+
+// armAgeTimer schedules the BoundedStaleness MaxAge trigger, at most one
+// outstanding event at a time. Strict and Eventual modes never arm it, so
+// they add no events to the schedule.
+func (s *StateStore) armAgeTimer() {
+	if s.ageArmed || s.mode != BoundedStaleness || s.bound.MaxAge <= 0 {
+		return
+	}
+	s.ageArmed = true
+	s.sw.Engine.Schedule(s.bound.MaxAge, s.onAgeTimer)
+}
+
+func (s *StateStore) onAgeTimer() {
+	s.ageArmed = false
+	if s.mode != BoundedStaleness || s.degraded || s.pendingSum == 0 {
+		return
+	}
+	s.boundFlush()
+}
+
+// boundFlush is a flush initiated by a staleness bound: it records how stale
+// the oldest accumulated delta got (never beyond MaxAge, by construction of
+// the age timer), drains what credits allow, and restarts the staleness
+// clock for whatever backlog remains.
+func (s *StateStore) boundFlush() {
+	now := s.sw.Engine.Now()
+	if stale := int64(now.Sub(s.oldestPendingAt)); stale > s.Stats.MaxStalenessNs {
+		s.Stats.MaxStalenessNs = stale
+	}
+	s.Stats.BoundFlushes++
+	s.reapLossy()
+	s.flush()
+	s.draining = s.pendingSum > 0
+	if s.draining {
+		s.oldestPendingAt = now
+		s.armAgeTimer()
+	}
+}
+
+// opportunisticFlush is the Eventual-mode reconcile: a shard's backlog moves
+// to the wire only when its window is fully idle, so deltas coalesce
+// maximally and flushing never competes with in-flight work.
+func (s *StateStore) opportunisticFlush() {
+	if s.degraded {
+		return
+	}
+	s.reapLossy()
+	for si := range s.dirty {
+		if s.credits[si].Outstanding() == 0 {
+			s.flushShard(si)
+		}
+	}
 }
 
 // flush moves dirty counters toward the wire, shard by shard: immediate
@@ -487,5 +630,20 @@ func (s *StateStore) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) {
 	// Cumulative completion: anything at or before the echoed PSN is
 	// answered or lost-and-answered-later.
 	s.striped.Shard(si).AckCumulative(pkt.BTH.PSN)
-	s.flush()
+	switch s.mode {
+	case BoundedStaleness:
+		// Between bounds the local copy is allowed to drift; ACKs continue a
+		// drain only when a bound already tripped and was cut short.
+		if s.draining {
+			s.reapLossy()
+			s.flush()
+			if s.pendingSum == 0 {
+				s.draining = false
+			}
+		}
+	case Eventual:
+		s.opportunisticFlush()
+	default:
+		s.flush()
+	}
 }

@@ -210,6 +210,80 @@ func TestStateStoreDoorbellNoDoubleFlushAcrossRebind(t *testing.T) {
 	}
 }
 
+func TestStateStoreReconcileAcrossShardRebind(t *testing.T) {
+	// Reconcile racing a shard rebind: a degraded backlog parked on shard 1
+	// must flush exactly once to the rebind target — not once at the rebind
+	// and again at the Reconcile — and the abort of shard 1's in-flight FAAs
+	// must return every credit to the old channel's window (no leak). The
+	// sibling shard is never disturbed.
+	b, ss := stripedStateBed(t, 2, 1, rnic.Config{}, StateStoreConfig{
+		Counters: 8, MaxOutstanding: 2,
+	})
+	spare := b.establishOn(t, 2, 4*8, rnic.PSNTolerant, false)
+	b.disp.Register(spare, ss)
+
+	// Phase 1 (t=0): two FAAs in flight on each shard's window, two more
+	// odd-counter updates parked in the pending table.
+	ss.Update(0, 1)
+	ss.Update(2, 1)
+	ss.Update(1, 1)
+	ss.Update(3, 1)
+	ss.Update(5, 1) // window full: accumulates
+	ss.Update(7, 1)
+	oldCredits := ss.ShardCredits(1)
+	if oldCredits.Outstanding() != 2 {
+		t.Fatalf("setup: shard 1 outstanding = %d, want 2", oldCredits.Outstanding())
+	}
+
+	// Phase 2: degrade (a supervisor would do this on typed errors), grow
+	// the backlog, then rebind shard 1 while the window is still in flight.
+	ss.SetDegraded(true)
+	for _, idx := range []int{1, 3, 5, 7} {
+		ss.Update(idx, 1)
+	}
+	ss.RebindShard(1, spare)
+	if oldCredits.Outstanding() != 0 {
+		t.Fatalf("abort leaked credits: %d still outstanding on the old window",
+			oldCredits.Outstanding())
+	}
+	if ss.Stats.FAAIssued != 4 {
+		t.Fatalf("rebind flushed a degraded backlog: %d FAAs, want 4", ss.Stats.FAAIssued)
+	}
+
+	ss.Reconcile()
+	b.net.Engine.Run()
+
+	// The two aborted in-flight FAAs still execute on the (alive) old server;
+	// their late ACKs route to a QPN the store no longer owns and are
+	// ignored. The backlog of 6 lands on the spare exactly once.
+	sumOn := func(nic *rnic.NIC, ch *Channel) uint64 {
+		var s uint64
+		for off := 0; off < 4*8; off += 8 {
+			v, _ := nic.ReadCounter(ch.RKey, ch.Base+uint64(off))
+			s += v
+		}
+		return s
+	}
+	ch0, _ := ss.CounterHome(0)
+	if got := sumOn(b.memNICs[0], ch0); got != 2 {
+		t.Fatalf("sibling shard disturbed: %d, want 2", got)
+	}
+	if got := sumOn(b.memNICs[2], spare); got != 6 {
+		t.Fatalf("rebind target = %d, want exactly 6 (double flush?) stats %+v", got, ss.Stats)
+	}
+	if ss.PendingTotal() != 0 {
+		t.Fatalf("pending = %d after reconcile drain", ss.PendingTotal())
+	}
+	if ss.Stats.DegradedEntries != 1 || ss.Stats.DegradedExits != 1 || ss.Stats.Reconciles != 1 {
+		t.Fatalf("degraded accounting off: %+v", ss.Stats)
+	}
+	for si := 0; si < 2; si++ {
+		if n := ss.ShardCredits(si).Outstanding(); n != 0 {
+			t.Fatalf("shard %d credits leaked: %d outstanding after drain", si, n)
+		}
+	}
+}
+
 // stripedLossyBed wires 1 host and nMem memory servers whose links all drop
 // frames with prob loss.
 func stripedLossyBed(t *testing.T, nMem int, loss float64) *bed {

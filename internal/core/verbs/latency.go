@@ -1,0 +1,65 @@
+package verbs
+
+import (
+	"math/bits"
+
+	"gem/internal/sim"
+)
+
+// LatencyBuckets is the number of log2 histogram buckets. Bucket i counts
+// completions whose post→CQE latency in nanoseconds has bit length i, i.e.
+// lies in [2^(i-1), 2^i); bucket 0 is zero-latency (same-event) completions.
+// 31 buckets cover up to ~1 s of simulated latency, far beyond any RTO.
+const LatencyBuckets = 31
+
+// LatencyHist is an allocation-free log2 latency histogram, recorded at the
+// moment a completion retires its WQE (post time is WQE.Issued). It is a
+// fixed-size value type so Stats stays flat and comparable, and Observe is a
+// shift-and-increment so it can sit on the completion hot path without
+// disturbing the zero-allocation guarantee.
+type LatencyHist struct {
+	Buckets [LatencyBuckets]int64
+	Count   int64
+	SumNs   int64
+	MaxNs   int64
+}
+
+// Observe records one post→CQE latency sample.
+func (h *LatencyHist) Observe(d sim.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= LatencyBuckets {
+		i = LatencyBuckets - 1
+	}
+	h.Buckets[i]++
+	h.Count++
+	h.SumNs += ns
+	if ns > h.MaxNs {
+		h.MaxNs = ns
+	}
+}
+
+// Add returns the element-wise sum of h and o (Max takes the max).
+func (h LatencyHist) Add(o LatencyHist) LatencyHist {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Count += o.Count
+	h.SumNs += o.SumNs
+	if o.MaxNs > h.MaxNs {
+		h.MaxNs = o.MaxNs
+	}
+	return h
+}
+
+// BucketFloorNs returns the inclusive lower bound of bucket i in
+// nanoseconds: 0 for bucket 0, else 2^(i-1).
+func BucketFloorNs(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return int64(1) << (i - 1)
+}

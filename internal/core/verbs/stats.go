@@ -21,13 +21,47 @@ func (s OpStats) Add(o OpStats) OpStats {
 	return s
 }
 
-// Stats are a QP's transport counters, per operation type. The struct is
-// flat and comparable so aggregate snapshots (gem.StatsSnapshot) can embed
-// it and compare by ==.
+// ErrStats count typed error completions (CQE error statuses) by class.
+// Every transport failure that used to vanish into a side channel — a NAK, a
+// retry-budget exhaustion, a refused credit, a failover dead end, an aborted
+// WQE — lands here, so a supervisor can watch error *rates* instead of
+// polling booleans on the retransmitter and failover engines.
+type ErrStats struct {
+	NakPSN            int64 // NAK with a PSN-sequence syndrome (receiver saw a gap)
+	NakRKey           int64 // NAK with an access/operation syndrome (bad rkey, bad op)
+	RetryExhausted    int64 // retransmitter retry budget exhausted (escalation)
+	CreditRefused     int64 // posts cancelled by the admission window
+	FailoverExhausted int64 // failover wanted to switch and found no live standby
+	Canceled          int64 // live WQEs abandoned by Abort (rebind/teardown)
+}
+
+// Add returns the element-wise sum of s and o.
+func (s ErrStats) Add(o ErrStats) ErrStats {
+	s.NakPSN += o.NakPSN
+	s.NakRKey += o.NakRKey
+	s.RetryExhausted += o.RetryExhausted
+	s.CreditRefused += o.CreditRefused
+	s.FailoverExhausted += o.FailoverExhausted
+	s.Canceled += o.Canceled
+	return s
+}
+
+// Total sums every error class — the supervisor's per-tick rate input.
+func (s ErrStats) Total() int64 {
+	return s.NakPSN + s.NakRKey + s.RetryExhausted +
+		s.CreditRefused + s.FailoverExhausted + s.Canceled
+}
+
+// Stats are a QP's transport counters, per operation type, plus the typed
+// error-completion counters and the post→CQE latency histogram. The struct
+// is flat and comparable so aggregate snapshots (gem.StatsSnapshot) can
+// embed it and compare by ==.
 type Stats struct {
 	Read     OpStats
 	Write    OpStats
 	FetchAdd OpStats
+	Errors   ErrStats
+	Latency  LatencyHist
 }
 
 // Add returns the element-wise sum of s and o.
@@ -35,5 +69,7 @@ func (s Stats) Add(o Stats) Stats {
 	s.Read = s.Read.Add(o.Read)
 	s.Write = s.Write.Add(o.Write)
 	s.FetchAdd = s.FetchAdd.Add(o.FetchAdd)
+	s.Errors = s.Errors.Add(o.Errors)
+	s.Latency = s.Latency.Add(o.Latency)
 	return s
 }

@@ -158,6 +158,16 @@ func (s *StripedQP) Stats() Stats {
 	return st
 }
 
+// Errors merges every shard's typed error-completion counters — the
+// supervisor's rate source, cheap enough to call once per tick.
+func (s *StripedQP) Errors() ErrStats {
+	var e ErrStats
+	for _, q := range s.shards {
+		e = e.Add(q.Stats.Errors)
+	}
+	return e
+}
+
 // ReapExpired runs every shard's expiry reaper, returning the total reaped.
 func (s *StripedQP) ReapExpired() int {
 	n := 0

@@ -102,7 +102,54 @@ const (
 	// CQStale: the response matched no live WQE (duplicate after a retry,
 	// or an answer to a reaped request).
 	CQStale
+	// CQNakPSN: the responder NAKed with a PSN-sequence syndrome — it saw a
+	// gap in the request stream. The retransmitter resyncs; the CQE reports
+	// the fault.
+	CQNakPSN
+	// CQNakRKey: the responder NAKed with a remote-access or remote-op
+	// syndrome — the request itself was rejected (bad rkey, bad opcode).
+	CQNakRKey
+	// CQRetryExhausted: the retransmitter's retry budget ran out for the
+	// oldest unacked request; recovery now needs failover or a reconnect.
+	CQRetryExhausted
+	// CQCreditRefused: the admission window cancelled the post.
+	CQCreditRefused
+	// CQFailoverExhausted: failover wanted to switch servers and found no
+	// live standby — every replica is considered dead.
+	CQFailoverExhausted
+	// CQCanceled: the WQE was abandoned by Abort (rebind or teardown);
+	// nothing will ever answer it.
+	CQCanceled
 )
+
+// String names the status for diagnostics and experiment tables.
+func (s CQStatus) String() string {
+	switch s {
+	case CQNone:
+		return "None"
+	case CQDone:
+		return "OK"
+	case CQStale:
+		return "Stale"
+	case CQNakPSN:
+		return "NAK-PSN"
+	case CQNakRKey:
+		return "NAK-RKey"
+	case CQRetryExhausted:
+		return "RetryExhausted"
+	case CQCreditRefused:
+		return "CreditRefused"
+	case CQFailoverExhausted:
+		return "FailoverExhausted"
+	case CQCanceled:
+		return "Canceled"
+	}
+	return "Unknown"
+}
+
+// IsError reports whether s is a typed error completion (as opposed to a
+// successful, in-progress, or merely stale one).
+func (s CQStatus) IsError() bool { return s >= CQNakPSN }
 
 // CQE is a completion-queue entry: the identity of the work request a
 // response satisfied.
@@ -153,6 +200,12 @@ type QPConfig struct {
 	// other event would retrigger the caller's issue loop.
 	Kick      func()
 	KickDelay sim.Duration
+	// OnError, when set, observes every typed error completion delivered via
+	// CompleteError (NAKs, retry exhaustion, failover dead ends). Credit
+	// refusals and Abort cancellations are counted in Stats.Errors but not
+	// delivered here: refusals are a hot-path backpressure signal, and Abort
+	// drains an unordered index.
+	OnError func(CQE, CQStatus)
 }
 
 // QP is one queue pair: the per-channel work-queue/completion-queue state.
@@ -223,7 +276,7 @@ func (q *QP) TryReserve(op OpType) bool {
 		return true
 	}
 	if !q.credits.TryAcquire() {
-		q.statsFor(op).Refused++
+		q.refused(op)
 		return false
 	}
 	q.reserve = true
@@ -253,8 +306,15 @@ func (q *QP) admit(op OpType) (took, ok bool) {
 	if q.credits.TryAcquire() {
 		return true, true
 	}
-	q.statsFor(op).Refused++
+	q.refused(op)
 	return false, false
+}
+
+// refused records an admission-window refusal: the per-op counter plus the
+// typed CreditRefused error class.
+func (q *QP) refused(op OpType) {
+	q.statsFor(op).Refused++
+	q.Stats.Errors.CreditRefused++
 }
 
 // get pops a WQE from the freelist (or allocates on a cold start).
@@ -331,7 +391,7 @@ func (q *QP) PostRead(token uint64, offset, n int, respPkts uint32, mode CreditM
 	switch mode {
 	case CreditTry:
 		if q.credits != nil && !q.credits.TryAcquire() {
-			q.Stats.Read.Refused++
+			q.refused(OpRead)
 			return false
 		}
 		psn := q.ep.PSN()
@@ -448,11 +508,40 @@ func (q *QP) CompleteExact(psn uint32) (CQE, bool) {
 	}
 	cqe := CQE{Op: w.Op, Token: w.Token, PSN: psn}
 	q.statsFor(w.Op).Completed++
+	q.Stats.Latency.Observe(q.ep.Now().Sub(w.Issued))
 	q.retire(w)
 	if !w.queued {
 		q.put(w)
 	}
 	return cqe, true
+}
+
+// CompleteError delivers a typed error completion: the CQE identifies the
+// faulted request (or request stream position, for stream-level faults like
+// a NAK), st classifies it, the matching Stats.Errors counter advances, and
+// the configured OnError consumer — typically a supervisor — observes it.
+// Error completions do not retire WQEs: the retransmitter or failover engine
+// that reported the fault still owns recovery of the in-flight work.
+func (q *QP) CompleteError(op OpType, token uint64, psn uint32, st CQStatus) CQE {
+	cqe := CQE{Op: op, Token: token, PSN: psn}
+	switch st {
+	case CQNakPSN:
+		q.Stats.Errors.NakPSN++
+	case CQNakRKey:
+		q.Stats.Errors.NakRKey++
+	case CQRetryExhausted:
+		q.Stats.Errors.RetryExhausted++
+	case CQCreditRefused:
+		q.Stats.Errors.CreditRefused++
+	case CQFailoverExhausted:
+		q.Stats.Errors.FailoverExhausted++
+	case CQCanceled:
+		q.Stats.Errors.Canceled++
+	}
+	if q.cfg.OnError != nil {
+		q.cfg.OnError(cqe, st)
+	}
+	return cqe
 }
 
 // AckCumulative retires every WQE at or before psn in 24-bit sequence
@@ -471,6 +560,7 @@ func (q *QP) AckCumulative(psn uint32) int {
 		}
 		q.queue.Pop()
 		q.statsFor(w.Op).Completed++
+		q.Stats.Latency.Observe(q.ep.Now().Sub(w.Issued))
 		q.retire(w)
 		q.put(w)
 		n++
@@ -494,6 +584,7 @@ func (q *QP) ReadResponse(pkt *wire.Packet) (CQE, []byte, CQStatus) {
 		}
 		cqe := CQE{Op: w.Op, Token: w.Token, PSN: pkt.BTH.PSN}
 		q.Stats.Read.Completed++
+		q.Stats.Latency.Observe(q.ep.Now().Sub(w.Issued))
 		q.retire(w)
 		if !w.queued {
 			q.put(w)
@@ -538,6 +629,7 @@ func (q *QP) ReadResponse(pkt *wire.Packet) (CQE, []byte, CQStatus) {
 		}
 		cqe := CQE{Op: w.Op, Token: w.Token, PSN: w.PSN}
 		q.Stats.Read.Completed++
+		q.Stats.Latency.Observe(q.ep.Now().Sub(w.Issued))
 		q.retire(w)
 		if !w.queued {
 			q.put(w)
@@ -598,11 +690,13 @@ func (q *QP) AppendExpired(buf []uint64) []uint64 {
 
 // Abort abandons every in-flight WQE, returning held credits to the
 // current window — the rebind path when the peer is gone and nothing will
-// ever answer.
+// ever answer. Each abandoned WQE counts a Canceled typed error (no OnError
+// delivery: the PSN index drains in unordered map order).
 func (q *QP) Abort() {
 	for q.queue.Len() > 0 {
 		w := q.queue.Pop()
 		if !w.done {
+			q.Stats.Errors.Canceled++
 			q.retire(w)
 		}
 		q.put(w)
@@ -611,6 +705,7 @@ func (q *QP) Abort() {
 		//gem:deterministic — draining every entry is order-independent
 		for _, w := range q.byPSN {
 			if !w.done {
+				q.Stats.Errors.Canceled++
 				q.retire(w)
 				q.put(w)
 			}

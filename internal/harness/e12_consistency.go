@@ -1,0 +1,377 @@
+package harness
+
+import (
+	"fmt"
+
+	"gem"
+	"gem/internal/faults"
+	"gem/internal/sim"
+	"gem/internal/wire"
+)
+
+// E12 is the consistency-spectrum experiment: the degraded postures that E9
+// toggled by hand become an automatic, observable policy. Two scenario
+// families share one seed:
+//
+//   - E12a (self-healing failover): the E9b fault schedule — primary crash,
+//     retry-budget escalation, forced failover to a standby, failback on
+//     restart — with a consistency supervisor governing the state store.
+//     Nothing in the scenario calls SetDegraded: the supervisor watches the
+//     typed error completions (RetryExhausted, Canceled) and the
+//     retransmitter's backoff level, walks Healthy → Suspect → Degraded on
+//     its own, drives Reconcile on the Degraded → Recovering edge, and
+//     returns the store to the strict contract. The DegradedExits counter
+//     moving with zero manual SetDegraded calls is the tentpole invariant.
+//   - E12b (spectrum under overload): the E10 fast FAA storm replayed three
+//     times with the store pinned to Strict, BoundedStaleness, and Eventual.
+//     Strict sheds low-priority updates at the admission edge; bounded
+//     proceeds on the local copy and flushes before MaxAge/MaxDelta trips
+//     (the recorded staleness never exceeds the bound); eventual absorbs the
+//     whole stream and reconciles opportunistically, committing strictly
+//     more FAA work than strict for far fewer wire operations. A supervisor
+//     governs the lookup table in every arm, so overload-driven automatic
+//     degradation (credit refusals → Suspect/Degraded → CPU slow path) runs
+//     alongside the manual spectrum sweep.
+
+// E12Config parameterizes the consistency-spectrum experiment.
+type E12Config struct {
+	// Seed drives every random model in both scenarios.
+	Seed int64
+
+	// E12a: self-healing failover.
+	AUpdates   int
+	ACrashAt   sim.Time
+	ARestartAt sim.Time
+
+	// E12b: the storm replayed across the spectrum.
+	StormPackets  int
+	StormInterval sim.Duration
+	BoundMaxAge   sim.Duration
+	BoundMaxDelta uint64
+}
+
+// DefaultE12Config returns the full-experiment settings.
+func DefaultE12Config() E12Config {
+	return E12Config{
+		Seed:     12,
+		AUpdates: 800, ACrashAt: at(200), ARestartAt: at(700),
+		StormPackets: 800, StormInterval: 500 * sim.Nanosecond,
+		BoundMaxAge: 50 * sim.Microsecond, BoundMaxDelta: 32,
+	}
+}
+
+// E12ModePoint is one consistency mode's outcome under the FAA storm.
+type E12ModePoint struct {
+	Mode            string
+	Updates         int64 // admitted by the store (sheds excluded)
+	Shed            int64
+	FAAIssued       int64
+	Remote          uint64
+	Pending         uint64
+	Exact           bool // admitted == remote + pending after the drain
+	BoundFlushes    int64
+	MaxStalenessNs  int64
+	MaxPendingDelta uint64
+	ModeChanges     int64 // store-side transitions (the one pinning call)
+	LtModeChanges   int64 // supervisor-driven lookup transitions
+	SupSuspect      int64
+	SupDegraded     int64
+	SlowPathMisses  int64
+}
+
+// E12Result is flat and comparable: two runs with the same config must be
+// identical (==).
+type E12Result struct {
+	// E12a.
+	AUpdates         int64
+	ACommitted       uint64 // remote counter sums across primary + standby
+	APending         uint64
+	ANoLoss          bool // committed + pending covers every admitted update
+	AErrors          int64
+	AEscalations     int64
+	AFailovers       int64
+	ADegradedEntries int64 // store posture edges — all supervisor-driven
+	ADegradedExits   int64
+	AReconciles      int64
+	AModeChanges     int64
+	ASupSuspect      int64
+	ASupDegraded     int64
+	ASupRecoveries   int64
+	ASupHealthy      int64
+	AFinalState      string
+	// ASelfHealed pins the tentpole: the degraded posture was entered and
+	// exited, recovery ran, and the target ended Healthy — with zero manual
+	// SetDegraded calls anywhere in the scenario.
+	ASelfHealed bool
+
+	// E12b, in spectrum order: Strict, BoundedStaleness, Eventual.
+	Spectrum [3]E12ModePoint
+	// BoundedWithinBound: bound flushes happened and the recorded staleness
+	// never exceeded the configured MaxAge.
+	BoundedWithinBound bool
+	// EventualBeatsStrict: eventual mode committed strictly more FAA work
+	// (remote counter total) than strict under the identical storm.
+	EventualBeatsStrict bool
+	AllExact            bool
+
+	// PendingEvents sums leftover event-queue entries; it must be 0.
+	PendingEvents int
+}
+
+// e12a: the E9b failover bed, self-healing. Primary + standby with separate
+// probe and data channels; the retransmitter's retry budget escalates to
+// ForceFailover. The supervisor is the only actor touching the store's
+// degraded posture: DegradeErrors=1 treats any typed error completion
+// (the RetryExhausted escalation, Canceled in-flight FAAs at rebind) as a
+// hard fault, and backoff climbing past two rounds is the Suspect signal.
+func e12a(cfg E12Config, res *E12Result) {
+	tb, err := gem.New(gem.Options{Seed: cfg.Seed, Hosts: 1, MemoryServers: 2})
+	if err != nil {
+		panic(err)
+	}
+	mkpair := func(mem int) (probe, data *gem.Channel) {
+		probe, err := tb.Establish(mem, gem.ChannelSpec{
+			RegionBase: 0x10000000, RegionSize: 64, Mode: gem.PSNTolerant,
+		})
+		if err != nil {
+			panic(err)
+		}
+		data, err = tb.Establish(mem, gem.ChannelSpec{
+			RegionBase: 0x20000000, RegionSize: 4096, Mode: gem.PSNStrict, AckReq: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return probe, data
+	}
+	probeP, dataP := mkpair(0)
+	probeS, dataS := mkpair(1)
+	dataOf := map[*gem.Channel]*gem.Channel{probeP: dataP, probeS: dataS}
+
+	rt, err := gem.NewRetransmitter(dataP, 8)
+	if err != nil {
+		panic(err)
+	}
+	rt.EnableAdaptiveRTO()
+	rt.MaxRetries = 4
+	ss, err := gem.NewStateStore(dataP, gem.StateStoreConfig{Counters: 8})
+	if err != nil {
+		panic(err)
+	}
+	ss.SetRetransmitter(rt) // wires rt's typed errors to the store's CQ
+	rt.Inner = ss
+	fo, err := gem.NewFailover([]*gem.Channel{probeP, probeS}, nil)
+	if err != nil {
+		panic(err)
+	}
+	fo.CQ = ss.Transport().Shard(0)
+	fo.OnFailover = func(_, newProbe *gem.Channel) {
+		data := dataOf[newProbe]
+		rt.Retarget(data)
+		ss.Rebind(data)
+	}
+	rt.OnExhausted = func() { fo.ForceFailover() }
+	fo.RegisterWith(tb.Dispatcher)
+	tb.Dispatcher.Register(dataP, rt)
+	tb.Dispatcher.Register(dataS, rt)
+	e9Dispatch(tb)
+
+	sup := gem.NewSupervisor(tb.Engine, gem.SupervisorConfig{DegradeErrors: 1})
+	idx := sup.Govern(gem.GovernStateStore("store", ss, []*gem.Retransmitter{rt}, fo))
+	fo.Start()
+	sup.Start()
+
+	faults.CrashRestart(tb.MemNICs[0], cfg.ACrashAt, cfg.ARestartAt).Install(tb.Engine)
+
+	issued := 0
+	tb.Engine.Ticker(1*sim.Microsecond, func() bool {
+		ss.Update(issued%8, 1)
+		issued++
+		return issued < cfg.AUpdates
+	})
+	tb.RunFor(sim.Duration(cfg.ARestartAt) + 1500*sim.Microsecond)
+	fo.Stop()
+	sup.Stop()
+	tb.Run()
+
+	sum := func(ch *gem.Channel) uint64 {
+		var s uint64
+		for i := 0; i < 8; i++ {
+			v, _ := tb.ReadRemoteCounter(ch, ss.CounterOffset(i))
+			s += v
+		}
+		return s
+	}
+	res.AUpdates = ss.Stats.Updates
+	res.ACommitted = sum(dataP) + sum(dataS)
+	res.APending = ss.PendingTotal()
+	// Retargeting is at-least-once: duplicates may inflate the committed
+	// sum, but nothing may be lost.
+	res.ANoLoss = res.ACommitted+res.APending >= uint64(res.AUpdates)
+	res.AErrors = ss.Transport().Errors().Total()
+	res.AEscalations = rt.Escalations
+	res.AFailovers = fo.Failovers
+	res.ADegradedEntries = ss.Stats.DegradedEntries
+	res.ADegradedExits = ss.Stats.DegradedExits
+	res.AReconciles = ss.Stats.Reconciles
+	res.AModeChanges = ss.Stats.ModeChanges
+	res.ASupSuspect = sup.Stats.SuspectEntries
+	res.ASupDegraded = sup.Stats.DegradedEntries
+	res.ASupRecoveries = sup.Stats.Recoveries
+	res.ASupHealthy = sup.Stats.HealthyReturns
+	res.AFinalState = sup.State(idx).String()
+	res.ASelfHealed = res.ADegradedExits > 0 && res.ASupRecoveries > 0 &&
+		res.AFinalState == "healthy"
+	res.PendingEvents += tb.Engine.Pending()
+}
+
+// e12storm replays the E10 lookup-miss + counter storm at the fast interval
+// with the state store pinned to one consistency mode. The lookup table runs
+// under a default-threshold supervisor in every arm, so credit refusals from
+// the miss window drive its automatic Suspect/Degraded/slow-path cycle.
+func e12storm(cfg E12Config, mode gem.ConsistencyMode, res *E12Result) E12ModePoint {
+	const (
+		entries  = 256
+		frameLen = 192
+		counters = 64
+	)
+	pt := E12ModePoint{Mode: mode.String()}
+	tb, err := gem.New(gem.Options{Seed: cfg.Seed, Hosts: 2, MemoryServers: 1})
+	if err != nil {
+		panic(err)
+	}
+	ltCfg := gem.LookupConfig{
+		Entries: entries, MaxPktBytes: 256,
+		MaxOutstandingMisses: 2,
+	}
+	chLT, err := tb.Establish(0, gem.ChannelSpec{
+		RegionBase: 0x10000000, RegionSize: entries * ltCfg.EntrySize(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	chSS, err := tb.Establish(0, gem.ChannelSpec{RegionBase: 0x20000000, RegionSize: 4096})
+	if err != nil {
+		panic(err)
+	}
+	lt, err := gem.NewLookupTable(chLT, ltCfg)
+	if err != nil {
+		panic(err)
+	}
+	lt.DefaultOutPort = tb.SwitchPortOfHost(1)
+	lt.SlowPath = func(wire.FlowKey) (gem.LookupAction, bool) {
+		return gem.LookupAction{}, true
+	}
+	ss, err := gem.NewStateStore(chSS, gem.StateStoreConfig{
+		Counters: counters, MaxOutstanding: 4,
+		PendingSlots: 32, ShedPendingSlots: 8,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ss.SetConsistencyMode(mode, gem.StalenessBound{
+		MaxAge: cfg.BoundMaxAge, MaxDelta: cfg.BoundMaxDelta,
+	})
+	tb.Dispatcher.Register(chLT, lt)
+	tb.Dispatcher.Register(chSS, ss)
+	tb.SetPipeline(func(ctx *gem.Context) {
+		if tb.Dispatcher.Dispatch(ctx) {
+			return
+		}
+		if ctx.Pkt == nil || !ctx.Pkt.HasIPv4 {
+			ctx.Drop()
+			return
+		}
+		ss.UpdatePrio(int(ctx.Pkt.UDP.SrcPort)%counters, 1, ctx.Priority)
+		lt.LookupPrio(ctx, ctx.Frame, ctx.Pkt, ctx.Priority)
+	})
+
+	sup := gem.NewSupervisor(tb.Engine, gem.SupervisorConfig{})
+	sup.Govern(gem.GovernLookupTable("lookup", lt))
+	sup.Start()
+
+	highPorts, lowPorts := e10StormPorts(tb, entries, frameLen, 4, 12)
+	sent, lowIdx := 0, 0
+	tb.Engine.Ticker(cfg.StormInterval, func() bool {
+		var frame []byte
+		if sent%4 == 0 {
+			frame = tb.DataFrame(0, 1, frameLen, highPorts[(sent/4)%len(highPorts)], 9999)
+			wire.SetDSCP(frame, 46)
+		} else {
+			frame = tb.DataFrame(0, 1, frameLen, lowPorts[lowIdx%len(lowPorts)], 9999)
+			lowIdx++
+		}
+		tb.SendFrame(0, frame)
+		sent++
+		return sent < cfg.StormPackets
+	})
+	tb.RunFor(cfg.StormInterval*sim.Duration(cfg.StormPackets) + 200*sim.Microsecond)
+	sup.Stop()
+	tb.Run()
+
+	for i := 0; i < counters; i++ {
+		v, _ := tb.ReadRemoteCounter(chSS, ss.CounterOffset(i))
+		pt.Remote += v
+	}
+	pt.Pending = ss.PendingTotal()
+	pt.Updates = ss.Stats.Updates
+	pt.Shed = ss.Stats.ShedUpdates
+	pt.FAAIssued = ss.Stats.FAAIssued
+	pt.Exact = pt.Remote+pt.Pending == uint64(pt.Updates)
+	pt.BoundFlushes = ss.Stats.BoundFlushes
+	pt.MaxStalenessNs = ss.Stats.MaxStalenessNs
+	pt.MaxPendingDelta = ss.Stats.MaxPendingDelta
+	pt.ModeChanges = ss.Stats.ModeChanges
+	pt.LtModeChanges = lt.Stats.ModeChanges
+	pt.SupSuspect = sup.Stats.SuspectEntries
+	pt.SupDegraded = sup.Stats.DegradedEntries
+	pt.SlowPathMisses = lt.Stats.DegradedMisses
+	res.PendingEvents += tb.Engine.Pending()
+	return pt
+}
+
+// RunE12 executes the consistency-spectrum experiment.
+func RunE12(cfg E12Config) (*Table, E12Result) {
+	var res E12Result
+	e12a(cfg, &res)
+	for i, mode := range []gem.ConsistencyMode{gem.Strict, gem.BoundedStaleness, gem.Eventual} {
+		res.Spectrum[i] = e12storm(cfg, mode, &res)
+	}
+	res.AllExact = res.Spectrum[0].Exact && res.Spectrum[1].Exact && res.Spectrum[2].Exact
+	res.BoundedWithinBound = res.Spectrum[1].BoundFlushes > 0 &&
+		res.Spectrum[1].MaxStalenessNs <= int64(cfg.BoundMaxAge)
+	res.EventualBeatsStrict = res.Spectrum[2].Remote > res.Spectrum[0].Remote
+
+	t := &Table{
+		ID:      "E12",
+		Title:   "consistency spectrum: typed errors, automatic degrade/recover, staleness bounds",
+		Columns: []string{"scenario", "invariant", "value", "detail"},
+	}
+	t.AddRow("a: self-healing failover", "auto degrade+recover",
+		fmt.Sprintf("%v", res.ASelfHealed),
+		fmt.Sprintf("%d typed errors, %d escalations, sup %d suspect / %d degraded / %d recoveries, %d degraded exits, final %s",
+			res.AErrors, res.AEscalations, res.ASupSuspect, res.ASupDegraded,
+			res.ASupRecoveries, res.ADegradedExits, res.AFinalState))
+	t.AddRow("a: no update lost", "committed+pending covers all",
+		fmt.Sprintf("%v", res.ANoLoss),
+		fmt.Sprintf("%d updates, %d committed, %d pending, %d failovers",
+			res.AUpdates, res.ACommitted, res.APending, res.AFailovers))
+	for _, pt := range res.Spectrum {
+		t.AddRow("b: storm "+pt.Mode, "admitted exact",
+			fmt.Sprintf("%v", pt.Exact),
+			fmt.Sprintf("%d admitted (%d shed), %d FAAs, %d remote, staleness %dns (%d bound flushes), peak delta %d",
+				pt.Updates, pt.Shed, pt.FAAIssued, pt.Remote,
+				pt.MaxStalenessNs, pt.BoundFlushes, pt.MaxPendingDelta))
+	}
+	t.AddRow("b: staleness bound", "max staleness <= MaxAge",
+		fmt.Sprintf("%v", res.BoundedWithinBound),
+		fmt.Sprintf("%dns <= %dns", res.Spectrum[1].MaxStalenessNs, int64(cfg.BoundMaxAge)))
+	t.AddRow("b: throughput tradeoff", "eventual commits > strict",
+		fmt.Sprintf("%v", res.EventualBeatsStrict),
+		fmt.Sprintf("eventual %d remote / %d FAAs vs strict %d remote / %d FAAs",
+			res.Spectrum[2].Remote, res.Spectrum[2].FAAIssued,
+			res.Spectrum[0].Remote, res.Spectrum[0].FAAIssued))
+	t.AddNote("no scenario calls SetDegraded: the supervisor reads typed CQE errors and backoff,")
+	t.AddNote("relaxes the contract (strict -> bounded -> eventual) and reconciles on recovery")
+	return t, res
+}

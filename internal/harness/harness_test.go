@@ -470,3 +470,63 @@ func TestE11(t *testing.T) {
 		}
 	}
 }
+
+// TestE12 runs the consistency-spectrum experiment for three seeds, twice
+// each (the same-seed determinism A/B across all three modes). Pins: the
+// failover bed degrades and recovers with zero manual SetDegraded calls and
+// ends Healthy, no admitted update is lost, bounded staleness never exceeds
+// its configured MaxAge, eventual mode commits strictly more FAA work than
+// strict under the identical storm, and every arm stays exact with a
+// quiescent event queue and a balanced frame pool.
+func TestE12(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		before := wire.DefaultPool.Stats().Balance()
+		cfg := DefaultE12Config()
+		cfg.Seed = seed
+		_, first := RunE12(cfg)
+		_, second := RunE12(cfg)
+		if first != second {
+			t.Fatalf("seed %d not reproducible:\n first %+v\nsecond %+v", seed, first, second)
+		}
+		if !first.ASelfHealed {
+			t.Errorf("seed %d: no self-healing cycle: %d degraded exits, %d recoveries, final %s",
+				seed, first.ADegradedExits, first.ASupRecoveries, first.AFinalState)
+		}
+		if first.ADegradedEntries == 0 || first.AReconciles == 0 || first.AModeChanges == 0 {
+			t.Errorf("seed %d: supervisor never drove the store: entries=%d reconciles=%d modeChanges=%d",
+				seed, first.ADegradedEntries, first.AReconciles, first.AModeChanges)
+		}
+		if !first.ANoLoss {
+			t.Errorf("seed %d: lost updates: committed=%d pending=%d of %d",
+				seed, first.ACommitted, first.APending, first.AUpdates)
+		}
+		if !first.AllExact {
+			t.Errorf("seed %d: a spectrum arm drifted: %+v", seed, first.Spectrum)
+		}
+		if !first.BoundedWithinBound {
+			t.Errorf("seed %d: staleness bound violated or idle: %dns (bound %dns, %d flushes)",
+				seed, first.Spectrum[1].MaxStalenessNs, int64(cfg.BoundMaxAge),
+				first.Spectrum[1].BoundFlushes)
+		}
+		if !first.EventualBeatsStrict {
+			t.Errorf("seed %d: eventual did not out-commit strict: %d vs %d remote",
+				seed, first.Spectrum[2].Remote, first.Spectrum[0].Remote)
+		}
+		if first.Spectrum[0].Shed == 0 {
+			t.Errorf("seed %d: strict arm shed nothing; the storm is not overloading", seed)
+		}
+		if first.Spectrum[2].Shed != 0 {
+			t.Errorf("seed %d: eventual arm shed %d updates; eventual never sheds",
+				seed, first.Spectrum[2].Shed)
+		}
+		if first.Spectrum[1].SupDegraded == 0 {
+			t.Errorf("seed %d: lookup supervisor never degraded under overload", seed)
+		}
+		if first.PendingEvents != 0 {
+			t.Errorf("seed %d: event queue not quiescent: %d pending", seed, first.PendingEvents)
+		}
+		if after := wire.DefaultPool.Stats().Balance(); after != before {
+			t.Errorf("seed %d: frame pool unbalanced: %d before, %d after", seed, before, after)
+		}
+	}
+}

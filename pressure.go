@@ -321,6 +321,10 @@ type StatsSnapshot struct {
 	PressureBypassed int64 // packet buffer: high-priority ordering bypasses
 	CreditFallbacks  int64 // lookup table: high-priority slow-path fallbacks
 
+	// Consistency spectrum (zero unless a mode was relaxed).
+	ModeChanges  int64 // SetConsistencyMode transitions across all primitives
+	BoundFlushes int64 // state store: flushes initiated by a staleness bound
+
 	// Channel-level refusals.
 	CapDrops    int64
 	InjectDrops int64
@@ -367,6 +371,8 @@ func (s StatsSnapshot) Add(o StatsSnapshot) StatsSnapshot {
 	r.ShedMisses += o.ShedMisses
 	r.PressureBypassed += o.PressureBypassed
 	r.CreditFallbacks += o.CreditFallbacks
+	r.ModeChanges += o.ModeChanges
+	r.BoundFlushes += o.BoundFlushes
 	r.CapDrops += o.CapDrops
 	r.InjectDrops += o.InjectDrops
 	r.PressureTierRaises += o.PressureTierRaises
@@ -422,6 +428,8 @@ func (tb *Testbed) Stats() StatsSnapshot {
 			snap.Reconciles += v.Stats.Reconciles
 			snap.DegradedUpdates += v.Stats.DegradedUpdates
 			snap.ShedUpdates += v.Stats.ShedUpdates
+			snap.ModeChanges += v.Stats.ModeChanges
+			snap.BoundFlushes += v.Stats.BoundFlushes
 			snap.Transport = snap.Transport.Add(v.Transport().Stats())
 		case *core.LookupTable:
 			if seen[h] {
@@ -433,6 +441,7 @@ func (tb *Testbed) Stats() StatsSnapshot {
 			snap.DegradedMisses += v.Stats.DegradedMisses
 			snap.ShedMisses += v.Stats.ShedMisses
 			snap.CreditFallbacks += v.Stats.CreditFallbacks
+			snap.ModeChanges += v.Stats.ModeChanges
 			snap.Transport = snap.Transport.Add(v.Transport().Stats())
 		case *core.PacketBuffer:
 			if seen[h] {
@@ -444,6 +453,7 @@ func (tb *Testbed) Stats() StatsSnapshot {
 			snap.DegradedBypassed += v.Stats.DegradedBypassed
 			snap.ShedFrames += v.Stats.ShedLowPrio
 			snap.PressureBypassed += v.Stats.PressureBypassed
+			snap.ModeChanges += v.Stats.ModeChanges
 			for i := 0; i < v.Channels(); i++ {
 				snap.Transport = snap.Transport.Add(v.Transport(i).Stats)
 			}
