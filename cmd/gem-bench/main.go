@@ -31,22 +31,23 @@ import (
 
 func main() {
 	runList := flag.String("run", "all",
-		"comma-separated experiment ids (E1..E7, E8a..E8f, E9, E10, E11, E12) or 'all'")
+		"comma-separated experiment ids (E1..E7, E8a..E8f, E9, E10, E11, E12, E13) or 'all'")
 	quick := flag.Bool("quick", false, "reduced parameters for a fast smoke run")
 	snapshot := flag.String("snapshot", "",
-		"write the E10 run's aggregated robustness counters as JSON to this file")
+		"write the E10/E13 runs' aggregated robustness counters as JSON to this file")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"number of experiments to run concurrently")
 	flag.Parse()
 
 	var (
-		e10Mu  sync.Mutex
+		resMu  sync.Mutex
 		e10Res *harness.E10Result
+		e13Res *harness.E13Result
 	)
 
 	want := map[string]bool{}
 	if *runList == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8A", "E8B", "E8C", "E8D", "E8E", "E8F", "E9", "E10", "E11", "E12"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8A", "E8B", "E8C", "E8D", "E8E", "E8F", "E9", "E10", "E11", "E12", "E13"} {
 			want[id] = true
 		}
 	} else {
@@ -175,9 +176,9 @@ func main() {
 		}},
 		{"E10", func() *harness.Table {
 			t, res := harness.RunE10(harness.DefaultE10Config())
-			e10Mu.Lock()
+			resMu.Lock()
 			e10Res = &res
-			e10Mu.Unlock()
+			resMu.Unlock()
 			return t
 		}},
 		{"E11", func() *harness.Table {
@@ -186,6 +187,13 @@ func main() {
 		}},
 		{"E12", func() *harness.Table {
 			t, _ := harness.RunE12(harness.DefaultE12Config())
+			return t
+		}},
+		{"E13", func() *harness.Table {
+			t, res := harness.RunE13(harness.DefaultE13Config())
+			resMu.Lock()
+			e13Res = &res
+			resMu.Unlock()
 			return t
 		}},
 	}
@@ -250,14 +258,15 @@ func main() {
 	wg.Wait()
 
 	if *snapshot != "" {
-		if e10Res == nil {
-			fmt.Fprintln(os.Stderr, "-snapshot requires E10 in the run set")
+		if e10Res == nil && e13Res == nil {
+			fmt.Fprintln(os.Stderr, "-snapshot requires E10 or E13 in the run set")
 			os.Exit(2)
 		}
 		doc := struct {
 			GeneratedAt string
-			E10         harness.E10Result
-		}{GeneratedAt: time.Now().UTC().Format(time.RFC3339), E10: *e10Res}
+			E10         *harness.E10Result `json:",omitempty"`
+			E13         *harness.E13Result `json:",omitempty"`
+		}{GeneratedAt: time.Now().UTC().Format(time.RFC3339), E10: e10Res, E13: e13Res}
 		buf, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -86,6 +86,19 @@ type (
 	// QPs by key (modulo placement, per-shard credit windows and failover
 	// domains, merged completions and stats).
 	StripedQP = verbs.StripedQP
+	// MirroredQP shadow-posts every WRITE/FAA on a primary QP to a replica
+	// server's QP, so a primary crash loses nothing (Sync) or a bounded,
+	// counted amount (Async). Built via StateStore.Replicate.
+	MirroredQP = verbs.MirroredQP
+	// MirrorConfig tunes a MirroredQP (mode, async lag bound, journal depth).
+	MirrorConfig = verbs.MirrorConfig
+	// MirrorStats is a MirroredQP's counter block, merged into
+	// TransportStats.Mirror by Testbed.Stats.
+	MirrorStats = verbs.MirrorStats
+	// LagHist is the log2 replication-lag histogram inside MirrorStats.
+	LagHist = verbs.LagHist
+	// ReplicationMode selects Off, Sync or Async mirroring.
+	ReplicationMode = verbs.ReplicationMode
 	// DoorbellConfig tunes a QP's doorbell-batched posting ring (deferred
 	// FAAs coalescing until a size / age / delta trigger flushes them).
 	DoorbellConfig = verbs.DoorbellConfig
@@ -117,6 +130,13 @@ type (
 	SupervisorTarget = core.SupervisorTarget
 	// HealthState is a governed target's position in the state machine.
 	HealthState = core.HealthState
+	// Scrubber is the anti-entropy repair agent comparing a primary window
+	// against its replica and copying over divergence.
+	Scrubber = core.Scrubber
+	// ScrubConfig tunes a Scrubber (interval, chunk size, live gate).
+	ScrubConfig = core.ScrubConfig
+	// ScrubStats count a Scrubber's checks and repairs.
+	ScrubStats = core.ScrubStats
 
 	// Host is a plain server endpoint.
 	Host = netsim.Host
@@ -152,9 +172,13 @@ var (
 	NewSupervisor = core.NewSupervisor
 	// GovernStateStore / GovernLookupTable / GovernPacketBuffer build
 	// supervisor targets for the three primitives.
-	GovernStateStore  = core.GovernStateStore
-	GovernLookupTable = core.GovernLookupTable
+	GovernStateStore   = core.GovernStateStore
+	GovernLookupTable  = core.GovernLookupTable
 	GovernPacketBuffer = core.GovernPacketBuffer
+	// GovernReplicatedStateStore is GovernStateStore plus a pressure feed
+	// from the store's replication lag, so a mirror falling behind walks the
+	// store down the health ladder before data is actually lost.
+	GovernReplicatedStateStore = core.GovernReplicatedStateStore
 	// SetDSCPAction / SetDstIPAction / DropAction build lookup actions.
 	SetDSCPAction  = core.SetDSCPAction
 	SetDstIPAction = core.SetDstIPAction
@@ -195,6 +219,18 @@ const (
 	Suspect    = core.Suspect
 	Degraded   = core.Degraded
 	Recovering = core.Recovering
+)
+
+// Replication modes for StateStore.Replicate.
+const (
+	// ReplicationOff posts to the primary only.
+	ReplicationOff = verbs.ReplicationOff
+	// ReplicationSync mirrors every post immediately; a primary crash
+	// loses nothing once the replica has acknowledged.
+	ReplicationSync = verbs.ReplicationSync
+	// ReplicationAsync mirrors with a bounded lag; entries past the bound
+	// are declared lost and surface as typed CQReplicaLost completions.
+	ReplicationAsync = verbs.ReplicationAsync
 )
 
 // Wire encapsulation versions for ChannelSpec.
@@ -263,6 +299,10 @@ type Testbed struct {
 	// monitor, when installed via SetPressureMonitor, feeds remote-memory
 	// occupancy tiers into Stats.
 	monitor *PressureMonitor
+
+	// scrubbers lists every anti-entropy scrubber built via NewScrubber, so
+	// Stats can fold their check/repair counters into the snapshot.
+	scrubbers []*core.Scrubber
 }
 
 // New builds and wires a testbed.
@@ -415,6 +455,25 @@ func (tb *Testbed) ReadRemoteCounter(ch *Channel, offset int) (uint64, error) {
 		}
 	}
 	return 0, fmt.Errorf("gem: channel region not found")
+}
+
+// NewScrubber builds an anti-entropy scrubber comparing length bytes at
+// offset of primary's region against the same window of replica's, and
+// registers it so Stats reports its work. The windows alias server DRAM
+// (they survive a crash wipe — clear() zeroes in place), so the scrubber
+// sees exactly what RDMA readers would. Call Start on the result.
+func (tb *Testbed) NewScrubber(primary, replica *Channel, offset, length int, cfg ScrubConfig) (*Scrubber, error) {
+	pr, rr := tb.Region(primary), tb.Region(replica)
+	if pr == nil || rr == nil {
+		return nil, fmt.Errorf("gem: scrubber channel region not found")
+	}
+	if offset < 0 || length <= 0 || offset+length > len(pr.Data) || offset+length > len(rr.Data) {
+		return nil, fmt.Errorf("gem: scrub window [%d,%d) outside regions (%d/%d bytes)",
+			offset, offset+length, len(pr.Data), len(rr.Data))
+	}
+	sc := core.NewScrubber(tb.Engine, pr.Data[offset:offset+length], rr.Data[offset:offset+length], cfg)
+	tb.scrubbers = append(tb.scrubbers, sc)
+	return sc, nil
 }
 
 // Region returns the backing DRAM of ch's region for server-side setup

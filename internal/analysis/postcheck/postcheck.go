@@ -58,6 +58,8 @@ var mustConsume = map[string]string{
 	analysis.VerbsMethod("StripedQP", "PostFetchAdd"):  "StripedQP.PostFetchAdd",
 	analysis.VerbsMethod("StripedQP", "DeferFetchAdd"): "StripedQP.DeferFetchAdd",
 	analysis.VerbsMethod("StripedQP", "Repost"):        "StripedQP.Repost",
+	analysis.VerbsMethod("MirroredQP", "PostWrite"):    "MirroredQP.PostWrite",
+	analysis.VerbsMethod("MirroredQP", "PostFetchAdd"): "MirroredQP.PostFetchAdd",
 }
 
 // statusResult describes a completion call whose multi-value return carries

@@ -37,6 +37,33 @@ func striped(s *verbs.StripedQP, key uint64) {
 	s.PostFetchAdd(key, 1) // want "result of StripedQP.PostFetchAdd dropped"
 }
 
+// --- mirrored posting ---
+
+func mirroredDropped(m *verbs.MirroredQP) {
+	m.PostFetchAdd(0, 1) // want "result of MirroredQP.PostFetchAdd dropped"
+}
+
+func mirroredBlank(m *verbs.MirroredQP, payload []byte) {
+	_ = m.PostWrite(0, payload) // want "result of MirroredQP.PostWrite assigned to the blank identifier"
+}
+
+func mirroredGoDiscard(m *verbs.MirroredQP) {
+	go m.PostFetchAdd(8, 1) // want "result of MirroredQP.PostFetchAdd discarded by go statement"
+}
+
+// mirroredHandled branches on the result: fine.
+func mirroredHandled(m *verbs.MirroredQP) bool {
+	if !m.PostFetchAdd(0, 1) {
+		return false
+	}
+	return true
+}
+
+// mirroredAnnotated is an intentional best-effort mirror write, waived.
+func mirroredAnnotated(m *verbs.MirroredQP, payload []byte) {
+	m.PostWrite(0, payload) //gem:post-ok best-effort mirror hint; scrubber repairs the window
+}
+
 // --- typed CQE status consumers ---
 
 func statusDropped(q *verbs.QP, pkt *wire.Packet) {

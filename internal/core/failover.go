@@ -72,6 +72,10 @@ type Failover struct {
 	Failbacks       int64
 	FailbackProbes  int64
 	FailbackAcks    int64
+	// ForcedWhileExhausted counts ForceFailover calls that arrived after the
+	// group was already Exhausted — each is a no-op with a typed
+	// CQFailoverExhausted completion, never a rebind to the dead primary.
+	ForcedWhileExhausted int64
 	// StaleDropped counts responses addressed to a non-active member's
 	// channel that were discarded instead of reaching Inner.
 	StaleDropped int64
@@ -236,7 +240,21 @@ func (f *Failover) failover() {
 // ForceFailover switches to the next standby immediately, without waiting
 // for the miss threshold — the escalation target for
 // Retransmitter.OnExhausted. Reports whether a switchover happened.
+//
+// Once the group is Exhausted a forced failover is a counted no-op: there
+// is nothing to switch to, and re-entering failover() would clobber the
+// miss clock and re-run the dead-end path. Each such call counts
+// ForcedWhileExhausted and emits a typed CQFailoverExhausted completion so
+// the caller's escalation is visible on the error-rate surface rather than
+// silently rebinding to the dead primary.
 func (f *Failover) ForceFailover() bool {
+	if f.Exhausted {
+		f.ForcedWhileExhausted++
+		if f.CQ != nil {
+			f.CQ.CompleteError(verbs.OpRead, uint64(f.Active().PSN()), f.Active().PSN(), verbs.CQFailoverExhausted)
+		}
+		return false
+	}
 	if f.misses == 0 {
 		f.firstMissAt = f.sw.Engine.Now()
 	}

@@ -284,3 +284,39 @@ func TestFailbackToRecoveredPrimary(t *testing.T) {
 		t.Fatalf("post-failback update did not reach the primary (got %d)", v)
 	}
 }
+
+func TestForceFailoverAfterExhaustedIsTypedNoop(t *testing.T) {
+	// Regression: once every member is down, a forced failover must not
+	// rebind onto the dead primary "because it is next in rotation". It is a
+	// counted no-op with a typed CQFailoverExhausted completion — the
+	// supervisor hears about the dead end instead of the store silently
+	// posting into a black hole.
+	b, ss, fo := failoverBed(t)
+	cq := ss.Transport().Shard(0)
+	fo.CQ = cq
+	b.memNICs[0].Fail()
+	b.memNICs[1].Fail()
+	b.net.Engine.RunFor(5 * sim.Millisecond)
+	if !fo.Exhausted {
+		t.Fatalf("group not exhausted: %d failovers, %d standbys", fo.Failovers, fo.Standbys())
+	}
+	// Entering Exhausted already emitted one typed completion.
+	if got := cq.Stats.Errors.FailoverExhausted; got != 1 {
+		t.Fatalf("exhaustion completions = %d, want 1", got)
+	}
+	active, failovers := fo.Active(), fo.Failovers
+	for i := 1; i <= 2; i++ {
+		if fo.ForceFailover() {
+			t.Fatal("forced failover on an exhausted group reported a switch")
+		}
+		if fo.ForcedWhileExhausted != int64(i) {
+			t.Fatalf("ForcedWhileExhausted = %d, want %d", fo.ForcedWhileExhausted, i)
+		}
+		if got := cq.Stats.Errors.FailoverExhausted; got != int64(1+i) {
+			t.Fatalf("typed completions = %d, want %d", got, 1+i)
+		}
+	}
+	if fo.Active() != active || fo.Failovers != failovers {
+		t.Fatal("exhausted force-failover moved the active member")
+	}
+}

@@ -165,6 +165,13 @@ type StateStore struct {
 	pendingSum uint64
 	byQPN      map[uint32]int // channel QPN → shard, for response routing
 
+	// mirrors, when set per shard, shadow-post that shard's FAAs onto a
+	// replica server (Replicate); replicaCh remembers the replica channel
+	// for promotion, and mirrorByQPN routes replica-side ACKs.
+	mirrors     []*verbs.MirroredQP
+	replicaCh   []*Channel
+	mirrorByQPN map[uint32]int
+
 	Stats StateStoreStats
 }
 
@@ -199,10 +206,13 @@ func NewStripedStateStore(chans []*Channel, cfg StateStoreConfig) (*StateStore, 
 	}
 	s := &StateStore{
 		chans: chans, sw: chans[0].sw, cfg: cfg,
-		pending: make(map[int]uint64, cfg.PendingSlots),
-		dirty:   make([][]int, len(chans)),
-		rts:     make([]*Retransmitter, len(chans)),
-		byQPN:   make(map[uint32]int, len(chans)),
+		pending:     make(map[int]uint64, cfg.PendingSlots),
+		dirty:       make([][]int, len(chans)),
+		rts:         make([]*Retransmitter, len(chans)),
+		byQPN:       make(map[uint32]int, len(chans)),
+		mirrors:     make([]*verbs.MirroredQP, len(chans)),
+		replicaCh:   make([]*Channel, len(chans)),
+		mirrorByQPN: make(map[uint32]int),
 	}
 	qps := make([]*verbs.QP, len(chans))
 	for i, ch := range chans {
@@ -273,6 +283,93 @@ func (s *StateStore) RebindShard(si int, ch *Channel) {
 	s.credits[si] = ch.EnsureCredits(s.credits[si].Config())
 	qp.Rebind(ch, s.credits[si])
 	s.flush()
+}
+
+// Replicate shadow-posts shard si's flushed work onto replica — a channel
+// to a second server whose region mirrors the shard's counter window. The
+// replica QP is credit-less (the mirror must never backpressure the
+// primary's admission window) and cumulative, like the shard itself.
+// Incompatible with Doorbell mode: there the transport owns the posting
+// moment, so the store never sees the post to shadow it. Returns the
+// mirror for introspection (promotion is PromoteShard).
+func (s *StateStore) Replicate(si int, replica *Channel, cfg verbs.MirrorConfig) (*verbs.MirroredQP, error) {
+	if s.cfg.Doorbell {
+		return nil, fmt.Errorf("core: replication is incompatible with doorbell batching (the transport owns the posting moment)")
+	}
+	if s.mirrors[si] != nil {
+		return nil, fmt.Errorf("core: shard %d already replicated", si)
+	}
+	perShard := (s.cfg.Counters + len(s.chans) - 1) / len(s.chans)
+	if need := perShard * 8; need > replica.Size {
+		return nil, fmt.Errorf("core: replica region too small: %d < %d", replica.Size, need)
+	}
+	rqp := verbs.NewQP(replica, nil, verbs.QPConfig{Cumulative: true})
+	m := verbs.NewMirrored(s.striped.Shard(si), rqp, cfg)
+	s.mirrors[si] = m
+	s.replicaCh[si] = replica
+	s.mirrorByQPN[replica.ID] = si
+	return m, nil
+}
+
+// Mirror returns shard si's mirror (nil when the shard is unreplicated).
+func (s *StateStore) Mirror(si int) *verbs.MirroredQP { return s.mirrors[si] }
+
+// ReplicaChannel returns shard si's replica channel (nil when
+// unreplicated) — the scrubber and promotion verification read through it.
+func (s *StateStore) ReplicaChannel(si int) *Channel { return s.replicaCh[si] }
+
+// MirrorStats merges every shard mirror's replication counters.
+func (s *StateStore) MirrorStats() verbs.MirrorStats {
+	var st verbs.MirrorStats
+	for _, m := range s.mirrors {
+		if m != nil {
+			st = st.Add(m.Stats)
+		}
+	}
+	return st
+}
+
+// MirrorLagTier maps the worst shard's replica lag onto the supervisor's
+// pressure scale: 0 under half the lag bound, 1 past half, 2 past the bound
+// itself. Promoted (and unreplicated) shards report 0 — there is no replica
+// left to lag.
+func (s *StateStore) MirrorLagTier() int {
+	tier := 0
+	for _, m := range s.mirrors {
+		if m == nil || m.Promoted() {
+			continue
+		}
+		lag, bound := m.Lag(), m.MaxLag()
+		switch {
+		case lag > bound:
+			tier = 2
+		case lag*2 > bound && tier < 1:
+			tier = 1
+		}
+		if tier == 2 {
+			break
+		}
+	}
+	return tier
+}
+
+// PromoteShard makes shard si's replica the authoritative copy after a
+// primary crash: the mirror replays its journal of never-posted work into
+// the replica, then the shard rebinds to the replica channel (aborting
+// in-flight requests to the dead primary, flushing the pending backlog to
+// the replica). The order matters — the replay must use the replica-side QP
+// before the shard QP adopts the replica's channel. A second call (the
+// failback edge re-firing OnFailover) is a no-op: a promoted shard stays on
+// its replica, where the surviving bytes are. Reports whether a promotion
+// happened.
+func (s *StateStore) PromoteShard(si int) bool {
+	m := s.mirrors[si]
+	if m == nil || m.Promoted() {
+		return false
+	}
+	m.Promote()
+	s.RebindShard(si, s.replicaCh[si])
+	return true
 }
 
 // SetRetransmitter routes shard 0's FAAs through rt (reliable mode); use
@@ -599,7 +696,13 @@ func (s *StateStore) flushShard(si int) {
 			// busy; wait for more updates or a free pipeline.
 			return
 		}
-		if !qp.PostFetchAdd(s.striped.Offset(uint64(idx)), delta) {
+		posted := false
+		if m := s.mirrors[si]; m != nil {
+			posted = m.PostFetchAdd(s.striped.Offset(uint64(idx)), delta)
+		} else {
+			posted = qp.PostFetchAdd(s.striped.Offset(uint64(idx)), delta)
+		}
+		if !posted {
 			return // egress or retransmit window full; retry on next event
 		}
 		dirty = dirty[1:]
@@ -620,6 +723,14 @@ func (s *StateStore) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) {
 		return
 	}
 	s.Stats.AcksSeen++
+	// Replica-side ACKs route to the mirror's exact-match journal, never to
+	// the shard's cumulative FIFO. After a promotion the replica channel IS
+	// the shard channel (rebound), so a promoted mirror falls through to the
+	// normal path below.
+	if mi, ok := s.mirrorByQPN[pkt.BTH.DestQP]; ok && !s.mirrors[mi].Promoted() {
+		s.mirrors[mi].AckReplica(pkt.BTH.PSN)
+		return
+	}
 	si, ok := s.byQPN[pkt.BTH.DestQP]
 	if !ok {
 		if len(s.chans) > 1 {
@@ -630,6 +741,9 @@ func (s *StateStore) HandleResponse(ctx *switchsim.Context, pkt *wire.Packet) {
 	// Cumulative completion: anything at or before the echoed PSN is
 	// answered or lost-and-answered-later.
 	s.striped.Shard(si).AckCumulative(pkt.BTH.PSN)
+	if m := s.mirrors[si]; m != nil && !m.Promoted() {
+		m.AckPrimary(pkt.BTH.PSN)
+	}
 	switch s.mode {
 	case BoundedStaleness:
 		// Between bounds the local copy is allowed to drift; ACKs continue a

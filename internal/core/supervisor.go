@@ -359,6 +359,19 @@ func GovernStateStore(name string, ss *StateStore, rts []*Retransmitter, fo *Fai
 	}
 }
 
+// GovernReplicatedStateStore is GovernStateStore with the replication lag
+// feeding the pressure signal: the worst shard mirror's lag tier (half the
+// lag bound → tier 1 / Suspect territory, past the bound → tier 2 /
+// Degrade) rides the same ladder input the allocator's pressure tiers use,
+// so a replica falling behind walks the store toward Suspect → Degraded
+// exactly like memory pressure does. Typed CQReplicaLost completions
+// already flow through the Errors rate via the shard QP.
+func GovernReplicatedStateStore(name string, ss *StateStore, rts []*Retransmitter, fo *Failover) SupervisorTarget {
+	t := GovernStateStore(name, ss, rts, fo)
+	t.Pressure = ss.MirrorLagTier
+	return t
+}
+
 // GovernLookupTable wires a lookup table as a supervisor target.
 func GovernLookupTable(name string, t *LookupTable) SupervisorTarget {
 	return SupervisorTarget{

@@ -93,6 +93,21 @@ func stripedCycle(eps []*fakeEndpoint, s *StripedQP, t *testing.T) {
 	}
 }
 
+// mirroredCycle is one post→mirror→complete round on a mirrored QP: a FAA
+// shadow-posted to the replica, the primary ack settling the primary side and
+// the exact-PSN replica ack draining the journal.
+func mirroredCycle(pep, rep *fakeEndpoint, m *MirroredQP, t *testing.T) {
+	ppsn, rpsn := pep.psn, rep.psn
+	if !m.PostFetchAdd(0, 1) {
+		t.Fatal("post refused")
+	}
+	m.Primary().AckCumulative(ppsn)
+	m.AckPrimary(ppsn)
+	if n := m.AckReplica(rpsn); n != 1 {
+		t.Fatalf("replica acked %d, want 1", n)
+	}
+}
+
 // TestTransportZeroAlloc is the hard gate behind the 0 allocs/op
 // acceptance criterion for the transport core.
 func TestTransportZeroAlloc(t *testing.T) {
@@ -125,6 +140,15 @@ func TestTransportZeroAlloc(t *testing.T) {
 	if n := testing.AllocsPerRun(200, func() { stripedCycle(eps, striped, t) }); n != 0 {
 		t.Fatalf("striped post→flush→complete: %v allocs/op, want 0", n)
 	}
+
+	pep, rep := &fakeEndpoint{}, &fakeEndpoint{}
+	pqp := NewQP(pep, NewCredits(CreditConfig{Window: 16}), QPConfig{Cumulative: true})
+	rqp := NewQP(rep, nil, QPConfig{Cumulative: true})
+	mir := NewMirrored(pqp, rqp, MirrorConfig{Mode: ReplicationSync})
+	mirroredCycle(pep, rep, mir, t) // warm both QPs' freelists
+	if n := testing.AllocsPerRun(200, func() { mirroredCycle(pep, rep, mir, t) }); n != 0 {
+		t.Fatalf("mirrored post→mirror→complete: %v allocs/op, want 0", n)
+	}
 }
 
 func BenchmarkQPPostCompleteRead(b *testing.B) {
@@ -146,6 +170,24 @@ func BenchmarkQPPostAckFetchAdd(b *testing.B) {
 		psn := ep.psn
 		qp.PostFetchAdd(0, 1)
 		qp.AckCumulative(psn)
+	}
+}
+
+// BenchmarkQPMirroredPostComplete is the replicated analogue of the FAA
+// cycle: every post shadowed onto a replica QP, both acks settling the
+// journal entry.
+func BenchmarkQPMirroredPostComplete(b *testing.B) {
+	pep, rep := &fakeEndpoint{}, &fakeEndpoint{}
+	pqp := NewQP(pep, NewCredits(CreditConfig{Window: 16}), QPConfig{Cumulative: true})
+	rqp := NewQP(rep, nil, QPConfig{Cumulative: true})
+	m := NewMirrored(pqp, rqp, MirrorConfig{Mode: ReplicationSync})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ppsn, rpsn := pep.psn, rep.psn
+		m.PostFetchAdd(0, 1)
+		m.Primary().AckCumulative(ppsn)
+		m.AckPrimary(ppsn)
+		m.AckReplica(rpsn)
 	}
 }
 

@@ -1,0 +1,228 @@
+package verbs
+
+import "testing"
+
+// mkMirrored builds a mirrored pair in the unit-test idiom: a credit-windowed
+// cumulative primary and a credit-less cumulative replica, both on fake
+// endpoints so the tests control every PSN.
+func mkMirrored(cfg MirrorConfig) (*fakeEndpoint, *fakeEndpoint, *MirroredQP) {
+	pep, rep := &fakeEndpoint{}, &fakeEndpoint{}
+	pqp := NewQP(pep, NewCredits(CreditConfig{Window: 16}), QPConfig{Cumulative: true})
+	rqp := NewQP(rep, nil, QPConfig{Cumulative: true})
+	return pep, rep, NewMirrored(pqp, rqp, cfg)
+}
+
+func TestMirroredSyncSettlesOnBothAcks(t *testing.T) {
+	pep, rep, m := mkMirrored(MirrorConfig{Mode: ReplicationSync})
+	ppsn, rpsn := pep.psn, rep.psn
+	if !m.PostFetchAdd(8, 5) {
+		t.Fatal("post refused")
+	}
+	if m.Journaled() != 1 || m.Lag() != 1 || m.LagDelta() != 5 {
+		t.Fatalf("journal=%d lag=%d lagDelta=%d after post, want 1/1/5",
+			m.Journaled(), m.Lag(), m.LagDelta())
+	}
+	if m.Stats.MirroredFAAs != 1 {
+		t.Fatalf("MirroredFAAs = %d, want 1", m.Stats.MirroredFAAs)
+	}
+	// Primary ack alone must not settle a Sync entry.
+	m.Primary().AckCumulative(ppsn)
+	m.AckPrimary(ppsn)
+	if m.Journaled() != 1 || m.Stats.BothAcked != 0 {
+		t.Fatalf("primary ack alone settled: journal=%d both=%d",
+			m.Journaled(), m.Stats.BothAcked)
+	}
+	// Replica ack completes the pair and drains the journal.
+	if n := m.AckReplica(rpsn); n != 1 {
+		t.Fatalf("AckReplica acked %d entries, want 1", n)
+	}
+	if m.Journaled() != 0 || m.Lag() != 0 {
+		t.Fatalf("journal=%d lag=%d after both acks, want 0/0", m.Journaled(), m.Lag())
+	}
+	if m.Stats.BothAcked != 1 || m.Stats.ReplicaAcked != 1 || m.Stats.ReplicaLost != 0 {
+		t.Fatalf("stats = %+v, want BothAcked=1 ReplicaAcked=1 ReplicaLost=0", m.Stats)
+	}
+}
+
+func TestMirroredAsyncDeclaresLossPastBound(t *testing.T) {
+	rep := &fakeEndpoint{fail: true} // replica egress refuses every post
+	pqp := NewQP(&fakeEndpoint{}, NewCredits(CreditConfig{Window: 16}), QPConfig{Cumulative: true})
+	rqp := NewQP(rep, nil, QPConfig{Cumulative: true})
+	m := NewMirrored(pqp, rqp, MirrorConfig{Mode: ReplicationAsync, MaxLag: 2})
+	for i := 0; i < 5; i++ {
+		if !m.PostFetchAdd(i*8, 1) {
+			t.Fatalf("post %d refused", i)
+		}
+	}
+	// Lag is enforced back to MaxLag after every post: 3 of 5 declared lost.
+	if m.Lag() != 2 {
+		t.Fatalf("lag = %d after enforcement, want 2", m.Lag())
+	}
+	if m.Stats.ReplicaLost != 3 || m.Stats.LostDelta != 3 {
+		t.Fatalf("ReplicaLost=%d LostDelta=%d, want 3/3",
+			m.Stats.ReplicaLost, m.Stats.LostDelta)
+	}
+	// Every declared loss is a typed completion on the primary QP.
+	if got := pqp.Stats.Errors.ReplicaLost; got != 3 {
+		t.Fatalf("primary typed CQReplicaLost = %d, want 3", got)
+	}
+	// The lag histogram saw at most MaxLag+1 (sampled before enforcement).
+	if m.Stats.Lag.Max > int64(m.MaxLag()+1) {
+		t.Fatalf("Lag.Max = %d, want <= %d", m.Stats.Lag.Max, m.MaxLag()+1)
+	}
+}
+
+func TestMirroredWriteRefusalJournaledAndRetried(t *testing.T) {
+	pep, rep, m := mkMirrored(MirrorConfig{Mode: ReplicationSync, PayloadCap: 16})
+	_ = pep
+	rep.fail = true
+	if !m.PostWrite(0, []byte("abcd")) {
+		t.Fatal("primary write refused")
+	}
+	if m.Journaled() != 1 || m.Stats.MirroredWrites != 0 {
+		t.Fatalf("refused mirror write: journal=%d mirrored=%d, want 1/0",
+			m.Journaled(), m.Stats.MirroredWrites)
+	}
+	// Replica recovers; the next replica ack event retries the journal.
+	rep.fail = false
+	m.AckReplica(0)
+	if m.Journaled() != 0 || m.Stats.MirroredWrites != 1 {
+		t.Fatalf("after retry: journal=%d mirrored=%d, want 0/1",
+			m.Journaled(), m.Stats.MirroredWrites)
+	}
+	if m.Stats.ReplicaLost != 0 {
+		t.Fatalf("ReplicaLost = %d, want 0 (Sync write retried, not lost)", m.Stats.ReplicaLost)
+	}
+}
+
+func TestMirroredOversizedWriteRefusalIsTypedLoss(t *testing.T) {
+	_, rep, m := mkMirrored(MirrorConfig{Mode: ReplicationSync, PayloadCap: 4})
+	rep.fail = true
+	if !m.PostWrite(0, []byte("too big to journal")) {
+		t.Fatal("primary write refused")
+	}
+	// No slab slot can hold it: the miss is a counted, typed loss on the spot.
+	if m.Journaled() != 0 {
+		t.Fatalf("oversized write journaled (%d entries)", m.Journaled())
+	}
+	if m.Stats.ReplicaLost != 1 {
+		t.Fatalf("ReplicaLost = %d, want 1", m.Stats.ReplicaLost)
+	}
+	if got := m.Primary().Stats.Errors.ReplicaLost; got != 1 {
+		t.Fatalf("primary typed CQReplicaLost = %d, want 1", got)
+	}
+}
+
+func TestMirroredAckReplicaExactAcrossWrap(t *testing.T) {
+	// The replica's PSN space straddles the 24-bit wrap. A blip drops the ack
+	// for mirror PSN 0xFFFFFF; exact matching must leave that entry un-acked
+	// (a cumulative mark at PSN 0 would silently absorb it).
+	pep := &fakeEndpoint{}
+	rep := &fakeEndpoint{psn: 0xFFFFFE}
+	pqp := NewQP(pep, NewCredits(CreditConfig{Window: 16}), QPConfig{Cumulative: true})
+	rqp := NewQP(rep, nil, QPConfig{Cumulative: true})
+	m := NewMirrored(pqp, rqp, MirrorConfig{Mode: ReplicationSync})
+	for i := 0; i < 4; i++ { // mirror PSNs: FFFFFE, FFFFFF, 0, 1
+		if !m.PostFetchAdd(i*8, 1) {
+			t.Fatalf("post %d refused", i)
+		}
+	}
+	if rep.psn != 2 {
+		t.Fatalf("replica PSN = %#x, want wrap to 2", rep.psn)
+	}
+	if n := m.AckReplica(0xFFFFFE); n != 1 {
+		t.Fatalf("ack FFFFFE matched %d, want 1", n)
+	}
+	// 0xFFFFFF's ack is dropped by the blip. The post-wrap acks still match.
+	if n := m.AckReplica(0); n != 1 {
+		t.Fatalf("ack 0 matched %d, want 1 (exact, not cumulative)", n)
+	}
+	if n := m.AckReplica(1); n != 1 {
+		t.Fatalf("ack 1 matched %d, want 1", n)
+	}
+	if m.Stats.ReplicaAcked != 3 {
+		t.Fatalf("ReplicaAcked = %d, want 3", m.Stats.ReplicaAcked)
+	}
+	// The dropped entry stays visible as lag for the scrubber/supervisor.
+	if m.Lag() != 1 {
+		t.Fatalf("lag = %d, want 1 (the blip-dropped entry)", m.Lag())
+	}
+}
+
+func TestMirroredPromoteReplaysOnlyUnposted(t *testing.T) {
+	// dbEndpoint counts replica-side FAAs so the test can pin exactly-once:
+	// entries that reached the replica's wire must NOT be replayed (the
+	// replica may hold them; a blind replay would double-apply).
+	pep := &fakeEndpoint{}
+	rep := &dbEndpoint{}
+	pqp := NewQP(pep, NewCredits(CreditConfig{Window: 16}), QPConfig{Cumulative: true})
+	rqp := NewQP(rep, nil, QPConfig{Cumulative: true})
+	m := NewMirrored(pqp, rqp, MirrorConfig{Mode: ReplicationSync})
+
+	// One post lands on the replica's wire (un-acked), then the replica dies
+	// and three more posts journal un-posted.
+	if !m.PostFetchAdd(0, 10) {
+		t.Fatal("post refused")
+	}
+	rep.fail = true
+	for i := 1; i < 4; i++ {
+		if !m.PostFetchAdd(i*8, uint64(10+i)) {
+			t.Fatalf("post %d refused", i)
+		}
+	}
+	if rep.faas != 1 || m.Journaled() != 4 {
+		t.Fatalf("pre-promotion: replica faas=%d journal=%d, want 1/4", rep.faas, m.Journaled())
+	}
+
+	// The primary crashes; the replica comes back and is promoted.
+	rep.fail = false
+	if n := m.Promote(); n != 3 {
+		t.Fatalf("Promote replayed %d, want 3 (the un-posted entries)", n)
+	}
+	if rep.faas != 4 || rep.deltas != 10+11+12+13 {
+		t.Fatalf("post-promotion: replica faas=%d deltas=%d, want 4 / 46 (exactly once each)",
+			rep.faas, rep.deltas)
+	}
+	if !m.Promoted() || m.Journaled() != 0 {
+		t.Fatalf("promoted=%v journal=%d, want true/0", m.Promoted(), m.Journaled())
+	}
+	if m.Stats.Replayed != 3 || m.Stats.Promotions != 1 {
+		t.Fatalf("Replayed=%d Promotions=%d, want 3/1", m.Stats.Replayed, m.Stats.Promotions)
+	}
+	// Promote is idempotent and post-promotion posts delegate to the primary.
+	if m.Promote() != 0 {
+		t.Fatal("second Promote replayed entries")
+	}
+	before := rep.faas
+	if !m.PostFetchAdd(0, 1) {
+		t.Fatal("post-promotion post refused")
+	}
+	if rep.faas != before || m.Journaled() != 0 {
+		t.Fatalf("post-promotion post touched the mirror: faas=%d journal=%d",
+			rep.faas, m.Journaled())
+	}
+}
+
+func TestMirroredRingOverflowForceSettlesHead(t *testing.T) {
+	// A full journal force-settles its head even in Sync mode: the ring is
+	// the memory bound, and an unsettled evicted head is a counted loss.
+	rep := &fakeEndpoint{fail: true}
+	pqp := NewQP(&fakeEndpoint{}, NewCredits(CreditConfig{Window: 16}), QPConfig{Cumulative: true})
+	rqp := NewQP(rep, nil, QPConfig{Cumulative: true})
+	m := NewMirrored(pqp, rqp, MirrorConfig{Mode: ReplicationSync, Journal: 2})
+	for i := 0; i < 3; i++ {
+		if !m.PostFetchAdd(i*8, 1) {
+			t.Fatalf("post %d refused", i)
+		}
+	}
+	if m.Journaled() != 2 {
+		t.Fatalf("journal = %d, want capacity 2", m.Journaled())
+	}
+	if m.Stats.ReplicaLost != 1 || m.Stats.LostDelta != 1 {
+		t.Fatalf("ReplicaLost=%d LostDelta=%d, want 1/1 (evicted head)",
+			m.Stats.ReplicaLost, m.Stats.LostDelta)
+	}
+	if got := pqp.Stats.Errors.ReplicaLost; got != 1 {
+		t.Fatalf("primary typed CQReplicaLost = %d, want 1", got)
+	}
+}

@@ -33,6 +33,7 @@ type ErrStats struct {
 	CreditRefused     int64 // posts cancelled by the admission window
 	FailoverExhausted int64 // failover wanted to switch and found no live standby
 	Canceled          int64 // live WQEs abandoned by Abort (rebind/teardown)
+	ReplicaLost       int64 // async-mirror journal entries dropped past the lag bound
 }
 
 // Add returns the element-wise sum of s and o.
@@ -43,13 +44,14 @@ func (s ErrStats) Add(o ErrStats) ErrStats {
 	s.CreditRefused += o.CreditRefused
 	s.FailoverExhausted += o.FailoverExhausted
 	s.Canceled += o.Canceled
+	s.ReplicaLost += o.ReplicaLost
 	return s
 }
 
 // Total sums every error class — the supervisor's per-tick rate input.
 func (s ErrStats) Total() int64 {
 	return s.NakPSN + s.NakRKey + s.RetryExhausted +
-		s.CreditRefused + s.FailoverExhausted + s.Canceled
+		s.CreditRefused + s.FailoverExhausted + s.Canceled + s.ReplicaLost
 }
 
 // Stats are a QP's transport counters, per operation type, plus the typed
@@ -62,6 +64,7 @@ type Stats struct {
 	FetchAdd OpStats
 	Errors   ErrStats
 	Latency  LatencyHist
+	Mirror   MirrorStats
 }
 
 // Add returns the element-wise sum of s and o.
@@ -71,5 +74,6 @@ func (s Stats) Add(o Stats) Stats {
 	s.FetchAdd = s.FetchAdd.Add(o.FetchAdd)
 	s.Errors = s.Errors.Add(o.Errors)
 	s.Latency = s.Latency.Add(o.Latency)
+	s.Mirror = s.Mirror.Add(o.Mirror)
 	return s
 }

@@ -120,6 +120,10 @@ const (
 	// CQCanceled: the WQE was abandoned by Abort (rebind or teardown);
 	// nothing will ever answer it.
 	CQCanceled
+	// CQReplicaLost: an async mirror dropped a journaled request because the
+	// replica fell further behind than the configured lag bound — the primary
+	// committed it but the replica never will (until a scrub repairs it).
+	CQReplicaLost
 )
 
 // String names the status for diagnostics and experiment tables.
@@ -143,6 +147,8 @@ func (s CQStatus) String() string {
 		return "FailoverExhausted"
 	case CQCanceled:
 		return "Canceled"
+	case CQReplicaLost:
+		return "ReplicaLost"
 	}
 	return "Unknown"
 }
@@ -249,6 +255,10 @@ func NewQP(ep Endpoint, credits *Credits, cfg QPConfig) *QP {
 
 // Credits returns the QP's admission window (nil when unmetered).
 func (q *QP) Credits() *Credits { return q.credits }
+
+// Endpoint returns the wire beneath the QP. Mirroring layers use it to peek
+// the next PSN before delegating a post.
+func (q *QP) Endpoint() Endpoint { return q.ep }
 
 // SetReliable routes future PostFetchAdd calls through r (reliable mode);
 // loss recovery moves to r's retransmit window.
@@ -488,7 +498,12 @@ func (q *QP) Repost(token uint64) bool {
 	if !q.ep.Read(w.Offset, w.Len, w.RespPkts) {
 		return false
 	}
-	delete(q.byPSN, w.PSN)
+	// After a Retarget the new endpoint's PSN space restarts, so this WQE's
+	// stale key may already have been claimed by a sibling's repost — only
+	// unmap the old PSN if it still points at us.
+	if q.byPSN[w.PSN] == w {
+		delete(q.byPSN, w.PSN)
+	}
 	w.PSN = psn
 	w.Issued = q.ep.Now()
 	q.byPSN[psn] = w
@@ -537,6 +552,8 @@ func (q *QP) CompleteError(op OpType, token uint64, psn uint32, st CQStatus) CQE
 		q.Stats.Errors.FailoverExhausted++
 	case CQCanceled:
 		q.Stats.Errors.Canceled++
+	case CQReplicaLost:
+		q.Stats.Errors.ReplicaLost++
 	}
 	if q.cfg.OnError != nil {
 		q.cfg.OnError(cqe, st)

@@ -172,7 +172,9 @@ func TestJitterSpikeDelaysDelivery(t *testing.T) {
 
 func TestServerScheduleCrashRestart(t *testing.T) {
 	r := newMemRig(1)
-	CrashRestart(r.nic, sim.Time(10*sim.Microsecond), sim.Time(30*sim.Microsecond)).Install(r.net.Engine)
+	sched := CrashRestart(r.nic, sim.Time(10*sim.Microsecond), sim.Time(30*sim.Microsecond))
+	sched.Loss = CrashPreserve
+	sched.Install(r.net.Engine)
 	send := func(at sim.Duration, psn uint32) {
 		r.net.Engine.Schedule(at, func() { r.hp.Send(r.faaFrame(psn, 1)) })
 	}
@@ -181,13 +183,39 @@ func TestServerScheduleCrashRestart(t *testing.T) {
 	send(40*sim.Microsecond, 2) // after restart: executes
 	r.net.Engine.Run()
 	if v, _ := r.nic.ReadCounter(r.region.RKey, r.region.Base); v != 2 {
-		t.Fatalf("counter = %d, want 2 (blackout op lost, memory intact)", v)
+		t.Fatalf("counter = %d, want 2 (blackout op lost, memory preserved)", v)
 	}
 	if r.nic.Stats.DroppedWhileFailed != 1 {
 		t.Fatalf("dropped-while-failed = %d, want 1", r.nic.Stats.DroppedWhileFailed)
 	}
+	if sched.Wiped != 0 {
+		t.Fatalf("preserve-mode restart wiped %d bytes", sched.Wiped)
+	}
 	if r.nic.Failed() {
 		t.Fatal("NIC still failed after the restart event")
+	}
+}
+
+// The default restart is a power cycle: DRAM contents are gone, and the
+// schedule counts the bytes it zeroed.
+func TestServerScheduleCrashWipesByDefault(t *testing.T) {
+	r := newMemRig(1)
+	sched := CrashRestart(r.nic, sim.Time(10*sim.Microsecond), sim.Time(30*sim.Microsecond))
+	sched.Install(r.net.Engine)
+	send := func(at sim.Duration, psn uint32) {
+		r.net.Engine.Schedule(at, func() { r.hp.Send(r.faaFrame(psn, 1)) })
+	}
+	send(0, 0)                  // before the crash: executes, then wiped
+	send(40*sim.Microsecond, 1) // after restart: the only surviving op
+	r.net.Engine.Run()
+	if v, _ := r.nic.ReadCounter(r.region.RKey, r.region.Base); v != 1 {
+		t.Fatalf("counter = %d, want 1 (pre-crash increment wiped)", v)
+	}
+	if sched.Wiped == 0 {
+		t.Fatal("wipe-mode restart reported zero bytes wiped")
+	}
+	if sched.Loss.String() != "wipe" || CrashPreserve.String() != "preserve" {
+		t.Fatalf("CrashLossMode strings wrong: %q / %q", sched.Loss, CrashPreserve)
 	}
 }
 

@@ -8,13 +8,45 @@ import (
 )
 
 // Server is the slice of the rnic.NIC surface the scheduler drives: crash
-// (go silent), restart (resume, DRAM intact), and slow mode (execution
-// takes a factor longer — a server that is sick, not dead, the harder case
-// for timeout-based detection).
+// (go silent), restart (resume; DRAM per the schedule's CrashLossMode), and
+// slow mode (execution takes a factor longer — a server that is sick, not
+// dead, the harder case for timeout-based detection).
 type Server interface {
 	Fail()
 	Recover()
 	Slow(factor float64)
+}
+
+// CrashLossMode says what happens to a server's DRAM across a
+// crash/restart cycle. The zero value is CrashWipe: a real power cycle
+// loses DRAM contents, and modeling anything kinder must be asked for
+// explicitly (remote memory is a performance tier, not durable storage —
+// the E13 no-replication baseline depends on the honest default).
+type CrashLossMode int
+
+const (
+	// CrashWipe zeroes every registered memory region at restart (the
+	// default). Requires the server to implement RegionWiper; a server that
+	// does not is restarted with memory intact (nothing to wipe through).
+	CrashWipe CrashLossMode = iota
+	// CrashPreserve restarts with memory intact — a process restart or a
+	// battery-backed DIMM, and the mode E9/E12's exactness invariants
+	// assume.
+	CrashPreserve
+)
+
+func (m CrashLossMode) String() string {
+	if m == CrashPreserve {
+		return "preserve"
+	}
+	return "wipe"
+}
+
+// RegionWiper is the optional server surface CrashWipe drives: zero all
+// registered memory regions, returning the bytes cleared. rnic.NIC
+// implements it.
+type RegionWiper interface {
+	WipeRegions() int
 }
 
 // ServerEventKind enumerates scheduled server-fault transitions.
@@ -23,7 +55,9 @@ type ServerEventKind int
 const (
 	// ServerCrash makes the server drop everything from At on.
 	ServerCrash ServerEventKind = iota
-	// ServerRestart brings a crashed server back (memory intact).
+	// ServerRestart brings a crashed server back. What its DRAM looks like
+	// is the schedule's CrashLossMode: wiped by default, intact only under
+	// CrashPreserve.
 	ServerRestart
 	// ServerSlow multiplies the server's execution time by Factor.
 	ServerSlow
@@ -58,11 +92,19 @@ type ServerSchedule struct {
 	Server Server
 	Events []ServerEvent
 
+	// Loss fixes what a restart does to the server's DRAM (default
+	// CrashWipe; see CrashLossMode).
+	Loss CrashLossMode
+
 	// Applied counts events that have fired.
 	Applied int64
+	// Wiped accumulates bytes zeroed by CrashWipe restarts.
+	Wiped int64
 }
 
 // CrashRestart is the common one-cycle script: dead during [crash, restart).
+// The restart wipes DRAM unless the caller sets Loss = CrashPreserve before
+// Install.
 func CrashRestart(srv Server, crash, restart sim.Time) *ServerSchedule {
 	return &ServerSchedule{Server: srv, Events: []ServerEvent{
 		{At: crash, Kind: ServerCrash},
@@ -84,6 +126,11 @@ func (s *ServerSchedule) Install(e *sim.Engine) {
 			case ServerCrash:
 				s.Server.Fail()
 			case ServerRestart:
+				if s.Loss == CrashWipe {
+					if w, ok := s.Server.(RegionWiper); ok {
+						s.Wiped += int64(w.WipeRegions())
+					}
+				}
 				s.Server.Recover()
 			case ServerSlow:
 				s.Server.Slow(ev.Factor)

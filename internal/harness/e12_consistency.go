@@ -181,7 +181,12 @@ func e12a(cfg E12Config, res *E12Result) {
 	fo.Start()
 	sup.Start()
 
-	faults.CrashRestart(tb.MemNICs[0], cfg.ACrashAt, cfg.ARestartAt).Install(tb.Engine)
+	// ANoLoss pins committed+pending >= admitted across the outage; the
+	// failed-back primary must keep its pre-crash counters, so this is a
+	// memory-intact restart (E13 models the wiped-DRAM case).
+	sched := faults.CrashRestart(tb.MemNICs[0], cfg.ACrashAt, cfg.ARestartAt)
+	sched.Loss = faults.CrashPreserve
+	sched.Install(tb.Engine)
 
 	issued := 0
 	tb.Engine.Ticker(1*sim.Microsecond, func() bool {

@@ -162,7 +162,12 @@ func e9a(cfg E9Config, res *E9Result) {
 	resp := &faults.LinkFaults{Loss: faults.DefaultGilbertElliott()}
 	tb.MemNICs[0].Port().Peer().SetFaultInjector(req) // switch → server
 	tb.MemNICs[0].Port().SetFaultInjector(resp)       // server → switch
-	faults.CrashRestart(tb.MemNICs[0], cfg.ACrashAt, cfg.ARestartAt).Install(tb.Engine)
+	// AExact pins remote+pending == updates across the outage, which needs a
+	// memory-intact restart (process restart, not power cycle) — E13 owns
+	// the wiped-DRAM story.
+	schedA := faults.CrashRestart(tb.MemNICs[0], cfg.ACrashAt, cfg.ARestartAt)
+	schedA.Loss = faults.CrashPreserve
+	schedA.Install(tb.Engine)
 
 	issued := 0
 	tb.Engine.Ticker(1*sim.Microsecond, func() bool {
@@ -247,7 +252,11 @@ func e9b(cfg E9Config, res *E9Result) {
 	e9Dispatch(tb)
 	fo.Start()
 
-	faults.CrashRestart(tb.MemNICs[0], cfg.BCrashAt, cfg.BRestartAt).Install(tb.Engine)
+	// BNoLoss depends on the failed-back primary keeping its pre-crash
+	// counters: preserve DRAM across the restart.
+	schedB := faults.CrashRestart(tb.MemNICs[0], cfg.BCrashAt, cfg.BRestartAt)
+	schedB.Loss = faults.CrashPreserve
+	schedB.Install(tb.Engine)
 
 	issued := 0
 	tb.Engine.Ticker(1*sim.Microsecond, func() bool {

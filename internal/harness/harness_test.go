@@ -530,3 +530,65 @@ func TestE12(t *testing.T) {
 		}
 	}
 }
+
+// TestE13 runs the replication experiment for three seeds, twice each. Pins:
+// same-seed runs are byte-identical, the replica lands anti-affine to its
+// primary, sync replication is byte-exact across a wiped primary crash (one
+// promotion, zero declared loss), async loss is bounded by the counted
+// LostDelta with the lag histogram under MaxLag+1 and every declared loss
+// surfaced as a typed CQReplicaLost completion, the scrubber repairs the
+// replica-blip divergence to byte equality (with the lag pressure walking
+// the supervisor to Suspect), and the unreplicated baseline really loses
+// updates to the wipe.
+func TestE13(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		before := wire.DefaultPool.Stats().Balance()
+		cfg := DefaultE13Config()
+		cfg.Seed = seed
+		_, first := RunE13(cfg)
+		_, second := RunE13(cfg)
+		if first != second {
+			t.Fatalf("seed %d not reproducible:\n first %+v\nsecond %+v", seed, first, second)
+		}
+		if !first.AntiAffine {
+			t.Errorf("seed %d: replica co-located with primary on mem%d", seed, first.PMem)
+		}
+		if !first.SyncExact {
+			t.Errorf("seed %d: sync arm not byte-exact: %d updates, %d replica, %d pending, %d lost-declared, %d promotions",
+				seed, first.Sync.Updates, first.Sync.Remote, first.Sync.Pending,
+				first.Sync.ReplicaLost, first.Sync.Promotions)
+		}
+		if first.Sync.Wiped == 0 {
+			t.Errorf("seed %d: sync arm crash did not wipe the primary", seed)
+		}
+		if !first.AsyncBounded || !first.AsyncLagBounded {
+			t.Errorf("seed %d: async loss unbounded: %d updates vs %d remote + %d pending + %d lost-delta, lag max %d",
+				seed, first.Async.Updates, first.Async.Remote, first.Async.Pending,
+				first.Async.LostDelta, first.Async.LagMax)
+		}
+		if !first.AsyncLossTyped {
+			t.Errorf("seed %d: declared losses not surfaced as typed completions: %d CQReplicaLost vs %d declared",
+				seed, first.Async.TypedErrors, first.Async.ReplicaLost)
+		}
+		if !first.ScrubConverged {
+			t.Errorf("seed %d: scrub arm did not converge: %d diverged, %d repaired of %d checked",
+				seed, first.ScrubDiverged, first.ScrubRepairs, first.ScrubChecked)
+		}
+		if first.ScrubLost == 0 || first.ScrubRepairs == 0 {
+			t.Errorf("seed %d: scrub arm exercised nothing: %d declared lost, %d repairs",
+				seed, first.ScrubLost, first.ScrubRepairs)
+		}
+		if first.ScrubSuspect == 0 {
+			t.Errorf("seed %d: replication lag never walked the supervisor to Suspect", seed)
+		}
+		if !first.BaselineLossy {
+			t.Errorf("seed %d: unreplicated baseline lost nothing: %+v", seed, first.Off)
+		}
+		if first.PendingEvents != 0 {
+			t.Errorf("seed %d: event queue not quiescent: %d pending", seed, first.PendingEvents)
+		}
+		if after := wire.DefaultPool.Stats().Balance(); after != before {
+			t.Errorf("seed %d: frame pool unbalanced: %d before, %d after", seed, before, after)
+		}
+	}
+}

@@ -201,6 +201,23 @@ func (n *NIC) LookupQP(qpn uint32) *QP { return n.qps[qpn] }
 func (n *NIC) Fail()    { n.failed = true }
 func (n *NIC) Recover() { n.failed = false }
 
+// WipeRegions zeroes every registered memory region — the DRAM contents a
+// real reboot loses — and returns the number of bytes cleared. It models a
+// power-cycle restart (faults.CrashWipe routes here); the regions stay
+// registered with their rkeys, only their contents are gone. Note the
+// atomic-replay caches (QP.atomicReplay) are deliberately NOT cleared: they are
+// NIC-side transport state, and wiping them would turn a retransmitted FAA
+// into a double-apply, which is a different fault than data loss.
+func (n *NIC) WipeRegions() int {
+	total := 0
+	//gem:deterministic — zeroing every region is order-independent
+	for _, r := range n.regions {
+		clear(r.Data)
+		total += len(r.Data)
+	}
+	return total
+}
+
 // Failed reports whether the NIC is in the crashed state.
 func (n *NIC) Failed() bool { return n.failed }
 

@@ -213,9 +213,11 @@ type Allocator struct {
 
 	// Refusals counts allocations refused because no server had room
 	// below the watermark; Steered counts allocations that were diverted
-	// from the first eligible server to a less-loaded one.
-	Refusals int64
-	Steered  int64
+	// from the first eligible server to a less-loaded one. Replicated
+	// counts primary+replica pairs placed by AllocateReplicated.
+	Refusals   int64
+	Steered    int64
+	Replicated int64
 }
 
 // NewAllocator returns an allocator over the testbed's memory servers.
@@ -243,18 +245,15 @@ func (tb *Testbed) NewAllocator(cfg AllocatorConfig) (*Allocator, error) {
 // Allocated reports the bytes placed on server mem.
 func (a *Allocator) Allocated(mem int) int { return a.allocated[mem] }
 
-// Allocate establishes a channel with a size-byte region on the
-// least-loaded server that stays below the high watermark, returning the
-// channel and the chosen server index. spec's RegionSize and RegionBase are
-// overridden by the allocator.
-func (a *Allocator) Allocate(size int, spec ChannelSpec) (*Channel, int, error) {
-	if size <= 0 {
-		return nil, -1, fmt.Errorf("gem: allocate needs a positive size")
-	}
+// pick runs the placement policy: the least-loaded server that stays below
+// the high watermark, skipping exclude (-1 = no exclusion). It returns the
+// chosen server and the first eligible one (for the steering counter), or
+// -1 when no server qualifies.
+func (a *Allocator) pick(size, exclude int) (chosen, firstEligible int) {
 	limit := int(a.cfg.HighWaterFrac * float64(a.cfg.PerServerBytes))
-	chosen, firstEligible := -1, -1
+	chosen, firstEligible = -1, -1
 	for i := range a.allocated {
-		if a.allocated[i]+size > limit {
+		if i == exclude || a.allocated[i]+size > limit {
 			continue
 		}
 		if firstEligible < 0 {
@@ -264,6 +263,31 @@ func (a *Allocator) Allocate(size int, spec ChannelSpec) (*Channel, int, error) 
 			chosen = i
 		}
 	}
+	return chosen, firstEligible
+}
+
+// place establishes a size-byte region on server mem per spec.
+func (a *Allocator) place(mem, size int, spec ChannelSpec) (*Channel, error) {
+	spec.RegionSize = size
+	spec.RegionBase = a.nextBase[mem]
+	ch, err := a.tb.Establish(mem, spec)
+	if err != nil {
+		return nil, err
+	}
+	a.allocated[mem] += size
+	a.nextBase[mem] += uint64(size)
+	return ch, nil
+}
+
+// Allocate establishes a channel with a size-byte region on the
+// least-loaded server that stays below the high watermark, returning the
+// channel and the chosen server index. spec's RegionSize and RegionBase are
+// overridden by the allocator.
+func (a *Allocator) Allocate(size int, spec ChannelSpec) (*Channel, int, error) {
+	if size <= 0 {
+		return nil, -1, fmt.Errorf("gem: allocate needs a positive size")
+	}
+	chosen, firstEligible := a.pick(size, -1)
 	if chosen < 0 {
 		a.Refusals++
 		return nil, -1, fmt.Errorf("gem: no memory server below watermark for %d bytes", size)
@@ -271,15 +295,48 @@ func (a *Allocator) Allocate(size int, spec ChannelSpec) (*Channel, int, error) 
 	if chosen != firstEligible {
 		a.Steered++
 	}
-	spec.RegionSize = size
-	spec.RegionBase = a.nextBase[chosen]
-	ch, err := a.tb.Establish(chosen, spec)
+	ch, err := a.place(chosen, size, spec)
 	if err != nil {
 		return nil, -1, err
 	}
-	a.allocated[chosen] += size
-	a.nextBase[chosen] += uint64(size)
 	return ch, chosen, nil
+}
+
+// AllocateReplicated places a primary and a replica region of the same size
+// with anti-affinity: the replica is never co-located with its primary (a
+// replica on the same DRAM dies with it). Both placements follow the
+// least-loaded-below-watermark policy, the replica's choice simply
+// excluding the primary's server; both are chosen before either is
+// established, so a refusal leaves no half-placed pair.
+func (a *Allocator) AllocateReplicated(size int, spec ChannelSpec) (primary, replica *Channel, pMem, rMem int, err error) {
+	if size <= 0 {
+		return nil, nil, -1, -1, fmt.Errorf("gem: allocate needs a positive size")
+	}
+	if len(a.allocated) < 2 {
+		a.Refusals++
+		return nil, nil, -1, -1, fmt.Errorf("gem: anti-affine replication needs at least two memory servers")
+	}
+	pMem, pFirst := a.pick(size, -1)
+	if pMem < 0 {
+		a.Refusals++
+		return nil, nil, -1, -1, fmt.Errorf("gem: no memory server below watermark for %d bytes", size)
+	}
+	rMem, _ = a.pick(size, pMem)
+	if rMem < 0 {
+		a.Refusals++
+		return nil, nil, -1, -1, fmt.Errorf("gem: no anti-affine server below watermark for a %d-byte replica", size)
+	}
+	if pMem != pFirst {
+		a.Steered++
+	}
+	if primary, err = a.place(pMem, size, spec); err != nil {
+		return nil, nil, -1, -1, err
+	}
+	if replica, err = a.place(rMem, size, spec); err != nil {
+		return nil, nil, -1, -1, err
+	}
+	a.Replicated++
+	return primary, replica, pMem, rMem, nil
 }
 
 // StatsSnapshot is a flat, comparable aggregate of every robustness counter
@@ -334,8 +391,15 @@ type StatsSnapshot struct {
 	PressureTierDrops  int64
 	PressureGlobalTier int
 
+	// Replication (zero unless a shard was Replicated).
+	FailoverForcedNoops int64 // ForceFailover calls while already Exhausted
+	ScrubChecked        int64 // anti-entropy chunks compared
+	ScrubRepairs        int64 // chunks copied primary → replica
+
 	// Transport folds every primitive's work-queue counters into one block:
-	// posted/completed/stale/retried/refused/expired per operation type.
+	// posted/completed/stale/retried/refused/expired per operation type,
+	// typed error classes, latency, and — for replicated stores — the
+	// mirror's posting/lag/loss counters (Transport.Mirror).
 	Transport verbs.Stats
 }
 
@@ -380,6 +444,9 @@ func (s StatsSnapshot) Add(o StatsSnapshot) StatsSnapshot {
 	if o.PressureGlobalTier > r.PressureGlobalTier {
 		r.PressureGlobalTier = o.PressureGlobalTier
 	}
+	r.FailoverForcedNoops += o.FailoverForcedNoops
+	r.ScrubChecked += o.ScrubChecked
+	r.ScrubRepairs += o.ScrubRepairs
 	r.Transport = r.Transport.Add(o.Transport)
 	return r
 }
@@ -417,6 +484,7 @@ func (tb *Testbed) Stats() StatsSnapshot {
 			snap.Failovers += v.Failovers
 			snap.Failbacks += v.Failbacks
 			snap.StaleDropped += v.StaleDropped
+			snap.FailoverForcedNoops += v.ForcedWhileExhausted
 			visit(v.Inner)
 		case *core.StateStore:
 			if seen[h] {
@@ -430,7 +498,9 @@ func (tb *Testbed) Stats() StatsSnapshot {
 			snap.ShedUpdates += v.Stats.ShedUpdates
 			snap.ModeChanges += v.Stats.ModeChanges
 			snap.BoundFlushes += v.Stats.BoundFlushes
-			snap.Transport = snap.Transport.Add(v.Transport().Stats())
+			t := v.Transport().Stats()
+			t.Mirror = v.MirrorStats()
+			snap.Transport = snap.Transport.Add(t)
 		case *core.LookupTable:
 			if seen[h] {
 				return
@@ -480,6 +550,10 @@ func (tb *Testbed) Stats() StatsSnapshot {
 		snap.PressureGlobalTier = int(tb.monitor.GlobalTier())
 		snap.PressureTierRaises = tb.monitor.Stats.TierRaises
 		snap.PressureTierDrops = tb.monitor.Stats.TierDrops
+	}
+	for _, sc := range tb.scrubbers {
+		snap.ScrubChecked += sc.Stats.ChunksChecked
+		snap.ScrubRepairs += sc.Stats.Repairs
 	}
 	return snap
 }
