@@ -8,10 +8,13 @@
 //	gem-bench -run E10 -snapshot BENCH_PR4.json  # overload run + counters
 //	gem-bench -quick      # reduced settings (seconds, for smoke tests)
 //	gem-bench -parallel 4 # fan experiments across 4 workers
+//	gem-bench -islands 4  # partition each E9..E13 testbed over 4 event loops
 //
 // Each experiment owns a private discrete-event engine, so experiments are
 // independent and deterministic regardless of -parallel; output is printed
-// in experiment order either way.
+// in experiment order either way. -islands additionally parallelizes WITHIN
+// one experiment (island-partitioned conservative simulation); seeded output
+// is byte-identical for every -islands value.
 package main
 
 import (
@@ -37,6 +40,8 @@ func main() {
 		"write the E10/E13 runs' aggregated robustness counters as JSON to this file")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"number of experiments to run concurrently")
+	islands := flag.Int("islands", 1,
+		"partition each E9..E13 testbed over this many parallel event loops (byte-identical output)")
 	flag.Parse()
 
 	var (
@@ -171,26 +176,36 @@ func main() {
 		// E9 and E10 are already short runs (microsecond-scale scenarios);
 		// -quick changes nothing.
 		{"E9", func() *harness.Table {
-			t, _ := harness.RunE9(harness.DefaultE9Config())
+			cfg := harness.DefaultE9Config()
+			cfg.Islands = *islands
+			t, _ := harness.RunE9(cfg)
 			return t
 		}},
 		{"E10", func() *harness.Table {
-			t, res := harness.RunE10(harness.DefaultE10Config())
+			cfg := harness.DefaultE10Config()
+			cfg.Islands = *islands
+			t, res := harness.RunE10(cfg)
 			resMu.Lock()
 			e10Res = &res
 			resMu.Unlock()
 			return t
 		}},
 		{"E11", func() *harness.Table {
-			t, _ := harness.RunE11(harness.DefaultE11Config())
+			cfg := harness.DefaultE11Config()
+			cfg.Islands = *islands
+			t, _ := harness.RunE11(cfg)
 			return t
 		}},
 		{"E12", func() *harness.Table {
-			t, _ := harness.RunE12(harness.DefaultE12Config())
+			cfg := harness.DefaultE12Config()
+			cfg.Islands = *islands
+			t, _ := harness.RunE12(cfg)
 			return t
 		}},
 		{"E13", func() *harness.Table {
-			t, res := harness.RunE13(harness.DefaultE13Config())
+			cfg := harness.DefaultE13Config()
+			cfg.Islands = *islands
+			t, res := harness.RunE13(cfg)
 			resMu.Lock()
 			e13Res = &res
 			resMu.Unlock()

@@ -18,9 +18,9 @@ import (
 // repair work visible instead).
 //
 // Each tick checks two chunks: the cursor chunk (a full deterministic sweep
-// every Length/Chunk ticks) and one chunk drawn from the engine RNG, so
-// hot divergence is found faster than the sweep period while staying
-// seed-reproducible.
+// every Length/Chunk ticks) and one chunk drawn from the scrubber's private
+// "scrub" random substream, so hot divergence is found faster than the sweep
+// period while staying seed-reproducible for any island layout.
 
 // ScrubConfig parameterizes one scrubber.
 type ScrubConfig struct {
@@ -115,7 +115,7 @@ func (s *Scrubber) tick() {
 	n := s.chunks()
 	s.check(s.cursor)
 	s.cursor = (s.cursor + 1) % n
-	if r := s.eng.Rand().Intn(n); r != s.cursor {
+	if r := s.eng.Stream("scrub").Intn(n); r != s.cursor {
 		s.check(r)
 	}
 }

@@ -28,6 +28,10 @@ import (
 type E11Config struct {
 	// Seed drives the whole testbed (runs with equal seeds replay exactly).
 	Seed int64
+	// Islands partitions the testbed over parallel event loops (see
+	// gem.Options.Islands); 0/1 = single loop. Output is byte-identical
+	// for every value.
+	Islands int
 
 	// Servers are the fan-out widths to sweep (paper-style 1/2/4).
 	Servers []int
@@ -93,7 +97,7 @@ type E11Result struct {
 // and reports the FAA issue rate inside the window plus conservation after
 // the drain.
 func e11FAARun(cfg E11Config, servers int) (rateMops float64, exact bool, pending int) {
-	tb, err := gem.New(gem.Options{Seed: cfg.Seed, MemoryServers: servers})
+	tb, err := gem.New(gem.Options{Seed: cfg.Seed, Islands: cfg.Islands, MemoryServers: servers})
 	if err != nil {
 		panic(err)
 	}
@@ -137,14 +141,14 @@ func e11FAARun(cfg E11Config, servers int) (rateMops float64, exact bool, pendin
 	}
 	exact = remote+ss.PendingTotal() == injected && ss.Stats.DroppedUpdates == 0
 	rateMops = float64(faaInWindow) / cfg.Window.Seconds() / 1e6
-	return rateMops, exact, tb.Engine.Pending()
+	return rateMops, exact, tb.PendingEvents()
 }
 
 // e11ReadRun preloads a striped ring, then drains it with each NIC's READ
 // payload rate as the bottleneck and reports the forward goodput.
 func e11ReadRun(cfg E11Config, servers int) (gbps float64, pending int) {
 	tb, err := gem.New(gem.Options{
-		Seed: cfg.Seed, Hosts: 2, MemoryServers: servers,
+		Seed: cfg.Seed, Islands: cfg.Islands, Hosts: 2, MemoryServers: servers,
 		NIC: rnic.Config{MTU: 4096, ReadPayloadBps: cfg.ReadGbpsPerNIC * 1e9},
 	})
 	if err != nil {
@@ -185,7 +189,7 @@ func e11ReadRun(cfg E11Config, servers int) (gbps float64, pending int) {
 	gen.Start(tb.Engine, int64(cfg.ReadFrames))
 	tb.Run()
 	if pb.Stats.Stored != int64(cfg.ReadFrames) {
-		return 0, tb.Engine.Pending() // preload failed; poison visibly
+		return 0, tb.PendingEvents() // preload failed; poison visibly
 	}
 
 	start := tb.Now()
@@ -194,17 +198,17 @@ func e11ReadRun(cfg E11Config, servers int) (gbps float64, pending int) {
 	pb.ResumeLoading()
 	tb.Run()
 	if tb.Hosts[1].Received != int64(cfg.ReadFrames) {
-		return 0, tb.Engine.Pending()
+		return 0, tb.PendingEvents()
 	}
 	elapsed := lastDelivery.Sub(start)
 	gbps = float64(cfg.ReadFrames) * float64(cfg.FrameLen) * 8 / elapsed.Seconds() / 1e9
-	return gbps, tb.Engine.Pending()
+	return gbps, tb.PendingEvents()
 }
 
 // e11DoorbellRun replays the same paced update stream with or without
 // doorbell batching and reports frames on the wire plus exactness.
 func e11DoorbellRun(cfg E11Config, doorbell bool) (frames int64, exact bool, pending int) {
-	tb, err := gem.New(gem.Options{Seed: cfg.Seed, MemoryServers: 1})
+	tb, err := gem.New(gem.Options{Seed: cfg.Seed, Islands: cfg.Islands, MemoryServers: 1})
 	if err != nil {
 		panic(err)
 	}
@@ -243,7 +247,7 @@ func e11DoorbellRun(cfg E11Config, doorbell bool) (frames int64, exact bool, pen
 	}
 	exact = remote+ss.PendingTotal() == uint64(cfg.DoorbellUpdates) &&
 		ss.Stats.DroppedUpdates == 0
-	return ss.Stats.FAAIssued, exact, tb.Engine.Pending()
+	return ss.Stats.FAAIssued, exact, tb.PendingEvents()
 }
 
 // RunE11 executes the striping + doorbell experiment.

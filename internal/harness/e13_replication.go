@@ -38,6 +38,10 @@ import (
 type E13Config struct {
 	// Seed drives every random model in all four arms.
 	Seed int64
+	// Islands partitions the testbed over parallel event loops (see
+	// gem.Options.Islands); 0/1 = single loop. Output is byte-identical
+	// for every value.
+	Islands int
 	// Updates is the FAA storm length (one update per microsecond).
 	Updates int
 	// CrashAt/RestartAt bound the primary outage (crash arms). The restart
@@ -145,7 +149,7 @@ type e13bed struct {
 }
 
 func e13mkbed(cfg E13Config) *e13bed {
-	tb, err := gem.New(gem.Options{Seed: cfg.Seed, Hosts: 1, MemoryServers: 2})
+	tb, err := gem.New(gem.Options{Seed: cfg.Seed, Islands: cfg.Islands, Hosts: 1, MemoryServers: 2})
 	if err != nil {
 		panic(err)
 	}
@@ -269,7 +273,7 @@ func e13crash(cfg E13Config, mode gem.ReplicationMode, res *E13Result) E13Arm {
 	// The restart wipes DRAM (CrashWipe is the default): whatever only the
 	// primary held is gone for real.
 	sched := faults.CrashRestart(b.tb.MemNICs[b.pMem], cfg.CrashAt, cfg.RestartAt)
-	sched.Install(b.tb.Engine)
+	sched.Install(b.tb.EngineOf(b.tb.MemNICs[b.pMem]))
 
 	until := cfg.RestartAt + sim.Time(1500*sim.Microsecond)
 	var arm E13Arm
@@ -286,7 +290,7 @@ func e13crash(cfg E13Config, mode gem.ReplicationMode, res *E13Result) E13Arm {
 		res.PMem, res.RMem = b.pMem, b.rMem
 		res.AntiAffine = b.pMem != b.rMem
 	}
-	res.PendingEvents += b.tb.Engine.Pending()
+	res.PendingEvents += b.tb.PendingEvents()
 	return arm
 }
 
@@ -328,7 +332,7 @@ func e13scrub(cfg E13Config, res *E13Result) {
 
 	sched := faults.CrashRestart(b.tb.MemNICs[b.rMem], cfg.BlipStart, cfg.BlipEnd)
 	sched.Loss = faults.CrashPreserve
-	sched.Install(b.tb.Engine)
+	sched.Install(b.tb.EngineOf(b.tb.MemNICs[b.rMem]))
 
 	b.tb.RunFor(sim.Duration(cfg.Updates)*sim.Microsecond + 300*sim.Microsecond)
 	sc.Stop()
@@ -347,7 +351,7 @@ func e13scrub(cfg E13Config, res *E13Result) {
 	pw := b.tb.Region(b.dataP).Data[:e13Counters*8]
 	rw := b.tb.Region(b.dataR).Data[:e13Counters*8]
 	res.ScrubConverged = string(pw) == string(rw)
-	res.PendingEvents += b.tb.Engine.Pending()
+	res.PendingEvents += b.tb.PendingEvents()
 }
 
 // RunE13 executes the replication experiment.

@@ -29,6 +29,10 @@ import (
 type E9Config struct {
 	// Seed drives every random model in all four scenarios.
 	Seed int64
+	// Islands partitions the testbed over parallel event loops (see
+	// gem.Options.Islands); 0/1 = single loop. Output is byte-identical
+	// for every value.
+	Islands int
 
 	// E9a: chaos state store.
 	AUpdates   int
@@ -126,7 +130,7 @@ func e9Dispatch(tb *gem.Testbed) {
 // restarts (DRAM and atomic replay cache intact) rather than being replaced,
 // the retransmit window gives exactly-once counting.
 func e9a(cfg E9Config, res *E9Result) {
-	tb, err := gem.New(gem.Options{Seed: cfg.Seed, Hosts: 1, MemoryServers: 1})
+	tb, err := gem.New(gem.Options{Seed: cfg.Seed, Islands: cfg.Islands, Hosts: 1, MemoryServers: 1})
 	if err != nil {
 		panic(err)
 	}
@@ -150,8 +154,14 @@ func e9a(cfg E9Config, res *E9Result) {
 	tb.Dispatcher.Register(ch, rt)
 	e9Dispatch(tb)
 
+	// A hotter burst-entry rate than DefaultGilbertElliott: the invariant
+	// "loss actually happened" must hold at every seed, and 0.002/frame over
+	// a few hundred frames leaves even odds of a clean run.
+	lossy := func() *faults.GilbertElliott {
+		return &faults.GilbertElliott{PGoodToBad: 0.01, PBadToGood: 0.2, LossBad: 0.5}
+	}
 	req := &faults.LinkFaults{
-		Loss: faults.DefaultGilbertElliott(),
+		Loss: lossy(),
 		// Several bits per event: single flips can land entirely in bytes the
 		// ICRC masks (Ethernet header, IP TTL/TOS/checksum) and go undetected
 		// on an unlucky seed, which is fine for safety but leaves the
@@ -159,7 +169,7 @@ func e9a(cfg E9Config, res *E9Result) {
 		Corrupt: &faults.Corruptor{Rate: 0.02, MaxBits: 4},
 		Jitter:  &faults.Jitter{Max: 200 * sim.Nanosecond},
 	}
-	resp := &faults.LinkFaults{Loss: faults.DefaultGilbertElliott()}
+	resp := &faults.LinkFaults{Loss: lossy()}
 	tb.MemNICs[0].Port().Peer().SetFaultInjector(req) // switch → server
 	tb.MemNICs[0].Port().SetFaultInjector(resp)       // server → switch
 	// AExact pins remote+pending == updates across the outage, which needs a
@@ -167,7 +177,7 @@ func e9a(cfg E9Config, res *E9Result) {
 	// the wiped-DRAM story.
 	schedA := faults.CrashRestart(tb.MemNICs[0], cfg.ACrashAt, cfg.ARestartAt)
 	schedA.Loss = faults.CrashPreserve
-	schedA.Install(tb.Engine)
+	schedA.Install(tb.EngineOf(tb.MemNICs[0]))
 
 	issued := 0
 	tb.Engine.Ticker(1*sim.Microsecond, func() bool {
@@ -192,7 +202,7 @@ func e9a(cfg E9Config, res *E9Result) {
 	res.ADrops = req.Loss.Drops + resp.Loss.Drops
 	res.ACorrupted = req.Corrupt.Corrupted
 	res.ABadICRC = tb.MemNICs[0].Stats.BadICRC
-	res.PendingEvents += tb.Engine.Pending()
+	res.PendingEvents += tb.PendingEvents()
 }
 
 // e9b: primary + standby. Probe channels (tolerant) are separate from the
@@ -201,7 +211,7 @@ func e9a(cfg E9Config, res *E9Result) {
 // data QPs. The retransmitter's retry budget escalates to ForceFailover; the
 // recovered primary is failed back to after answering probes.
 func e9b(cfg E9Config, res *E9Result) {
-	tb, err := gem.New(gem.Options{Seed: cfg.Seed, Hosts: 1, MemoryServers: 2})
+	tb, err := gem.New(gem.Options{Seed: cfg.Seed, Islands: cfg.Islands, Hosts: 1, MemoryServers: 2})
 	if err != nil {
 		panic(err)
 	}
@@ -256,7 +266,7 @@ func e9b(cfg E9Config, res *E9Result) {
 	// counters: preserve DRAM across the restart.
 	schedB := faults.CrashRestart(tb.MemNICs[0], cfg.BCrashAt, cfg.BRestartAt)
 	schedB.Loss = faults.CrashPreserve
-	schedB.Install(tb.Engine)
+	schedB.Install(tb.EngineOf(tb.MemNICs[0]))
 
 	issued := 0
 	tb.Engine.Ticker(1*sim.Microsecond, func() bool {
@@ -287,7 +297,7 @@ func e9b(cfg E9Config, res *E9Result) {
 	// Retargeting is at-least-once: duplicates may inflate the committed
 	// sum, but nothing may be lost.
 	res.BNoLoss = res.BOnPrimary+res.BOnStandby+res.BPending >= uint64(cfg.BUpdates)
-	res.PendingEvents += tb.Engine.Pending()
+	res.PendingEvents += tb.PendingEvents()
 }
 
 // e9c: lookup table, state store, and packet buffer all running while the
@@ -295,7 +305,7 @@ func e9b(cfg E9Config, res *E9Result) {
 // primitive into its degraded mode just before the outage and restores it
 // just after; the state store's counter stays exactly correct.
 func e9c(cfg E9Config, res *E9Result) {
-	tb, err := gem.New(gem.Options{Seed: cfg.Seed, Hosts: 2, MemoryServers: 1})
+	tb, err := gem.New(gem.Options{Seed: cfg.Seed, Islands: cfg.Islands, Hosts: 2, MemoryServers: 1})
 	if err != nil {
 		panic(err)
 	}
@@ -403,14 +413,14 @@ func e9c(cfg E9Config, res *E9Result) {
 	res.CReconciles = ss.Stats.Reconciles
 	res.CStored = pb.Stats.Stored
 	res.CLoaded = pb.Stats.Loaded
-	res.PendingEvents += tb.Engine.Pending()
+	res.PendingEvents += tb.PendingEvents()
 }
 
 // e9d: the same reliable counter under heavy-tailed latency (1 ms spikes on
 // the request path), once with the fixed 100 µs timeout and once with the
 // adaptive RTO. Both stay exact; the adaptive run retransmits less.
 func e9d(cfg E9Config, adaptive bool) (retransmits int64, exact bool) {
-	tb, err := gem.New(gem.Options{Seed: cfg.Seed, Hosts: 1, MemoryServers: 1})
+	tb, err := gem.New(gem.Options{Seed: cfg.Seed, Islands: cfg.Islands, Hosts: 1, MemoryServers: 1})
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"gem/internal/wire"
+)
+
+// islandsAB runs one experiment twice at the same seed — single event loop
+// vs. islands parallel loops — and requires byte-identical output: the
+// conservative-lookahead engine must be an execution detail, never a result.
+func islandsAB(t *testing.T, name string, islands int, run func(seed int64, islands int) (*Table, any)) {
+	t.Helper()
+	for _, seed := range []int64{1, 2, 3} {
+		before := wire.DefaultPool.Stats().Balance()
+		seqTable, seqRes := run(seed, 1)
+		parTable, parRes := run(seed, islands)
+		if fmt.Sprintf("%+v", seqRes) != fmt.Sprintf("%+v", parRes) {
+			t.Errorf("%s seed %d: results diverge between -islands 1 and -islands %d:\n  seq %+v\n  par %+v",
+				name, seed, islands, seqRes, parRes)
+		}
+		var seqOut, parOut bytes.Buffer
+		seqTable.Fprint(&seqOut)
+		parTable.Fprint(&parOut)
+		if !bytes.Equal(seqOut.Bytes(), parOut.Bytes()) {
+			t.Errorf("%s seed %d: stdout diverges between -islands 1 and -islands %d:\n--- islands=1\n%s--- islands=%d\n%s",
+				name, seed, islands, seqOut.String(), islands, parOut.String())
+		}
+		if leak := wire.DefaultPool.Stats().Balance() - before; leak != 0 {
+			t.Errorf("%s seed %d: parallel A/B leaked %d frames", name, seed, leak)
+		}
+	}
+}
+
+// TestIslandsByteIdentity is the -islands A/B gate over every experiment
+// that exercises loss, faults, replication, striping and consistency —
+// the full surface the island refactor could have perturbed.
+func TestIslandsByteIdentity(t *testing.T) {
+	const islands = 4
+	t.Run("E9", func(t *testing.T) {
+		islandsAB(t, "E9", islands, func(seed int64, n int) (*Table, any) {
+			cfg := DefaultE9Config()
+			cfg.Seed, cfg.Islands = seed, n
+			tb, res := RunE9(cfg)
+			return tb, res
+		})
+	})
+	t.Run("E10", func(t *testing.T) {
+		islandsAB(t, "E10", islands, func(seed int64, n int) (*Table, any) {
+			cfg := DefaultE10Config()
+			cfg.Seed, cfg.Islands = seed, n
+			tb, res := RunE10(cfg)
+			return tb, res
+		})
+	})
+	t.Run("E11", func(t *testing.T) {
+		islandsAB(t, "E11", islands, func(seed int64, n int) (*Table, any) {
+			cfg := DefaultE11Config()
+			cfg.Seed, cfg.Islands = seed, n
+			tb, res := RunE11(cfg)
+			return tb, res
+		})
+	})
+	t.Run("E12", func(t *testing.T) {
+		islandsAB(t, "E12", islands, func(seed int64, n int) (*Table, any) {
+			cfg := DefaultE12Config()
+			cfg.Seed, cfg.Islands = seed, n
+			tb, res := RunE12(cfg)
+			return tb, res
+		})
+	})
+	t.Run("E13", func(t *testing.T) {
+		islandsAB(t, "E13", islands, func(seed int64, n int) (*Table, any) {
+			cfg := DefaultE13Config()
+			cfg.Seed, cfg.Islands = seed, n
+			tb, res := RunE13(cfg)
+			return tb, res
+		})
+	})
+}

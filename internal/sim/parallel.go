@@ -1,0 +1,282 @@
+// Conservative parallel execution: a ParallelEngine advances N island
+// engines on separate goroutines in bounded-lag windows.
+//
+// Synchronization model. Each round, every island publishes the timestamp of
+// its earliest pending event; the global minimum T is the round's base. An
+// island i may safely execute every event with at < T + lookIn[i], where
+// lookIn[i] is the minimum propagation delay over cross-island links INTO
+// island i: any event a peer sends during the round carries timestamp
+// >= T + link delay >= T + lookIn[i], so nothing that arrives mid-round can
+// belong to the window being executed. Cross-island events travel through
+// per-island mutex-guarded mailboxes and are drained into the heap at the
+// next window boundary; the heap's causal-rank order (see sim.go) makes the
+// merge independent of arrival interleaving, which is what keeps same-seed
+// runs byte-identical for any island count.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	maxTime = Time(math.MaxInt64)
+	// InfLookahead marks an island with no incoming cross-island links: it
+	// can never receive external events, so it may run arbitrarily far ahead.
+	InfLookahead = Duration(math.MaxInt64)
+)
+
+// barrier is a sense-reversing spin barrier. Spinning keeps window turnaround
+// in the sub-microsecond range on multi-core hosts; the Gosched fallback
+// keeps it correct (if slower) when goroutines outnumber cores.
+type barrier struct {
+	n     int32
+	count atomic.Int32
+	gen   atomic.Uint32
+}
+
+func (b *barrier) wait() {
+	g := b.gen.Load()
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.gen.Add(1)
+		return
+	}
+	for spins := 0; b.gen.Load() == g; spins++ {
+		if spins&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// ParallelEngine coordinates N island engines. Island 0 is conventionally
+// the control island (the facade's Engine field); workloads that drive the
+// run from outside the event loop schedule there.
+type ParallelEngine struct {
+	islands []*Engine
+	lookIn  []Duration // min cross-link propagation into island i
+
+	mins     []atomic.Int64 // per-island earliest pending event time
+	barrier  barrier
+	stopReq  atomic.Bool
+	stopSnap atomic.Bool
+	running  bool
+
+	// rootKids is the run-global counter behind causal ranks of events
+	// scheduled outside any event; setup code is single-threaded, so plain
+	// increments are safe.
+	rootKids uint64
+}
+
+// NewParallelEngine returns a coordinator with n islands sharing run seed
+// seed. Island 0's shared random source matches NewEngine(seed) exactly;
+// model code should use per-consumer Stream substreams, which are identical
+// on every island by construction.
+func NewParallelEngine(seed int64, n int) *ParallelEngine {
+	if n < 1 {
+		panic("sim: parallel engine needs at least one island")
+	}
+	p := &ParallelEngine{
+		islands: make([]*Engine, n),
+		lookIn:  make([]Duration, n),
+		mins:    make([]atomic.Int64, n),
+	}
+	p.barrier.n = int32(n)
+	for i := 0; i < n; i++ {
+		islandSeed := seed
+		if i > 0 {
+			islandSeed = int64(splitmix64(uint64(seed) + uint64(i)))
+		}
+		e := NewEngine(islandSeed)
+		e.seed = seed // Stream substreams derive from the run seed everywhere
+		e.island = int32(i)
+		e.par = p
+		p.islands[i] = e
+		p.lookIn[i] = InfLookahead
+	}
+	return p
+}
+
+// N returns the number of islands.
+func (p *ParallelEngine) N() int { return len(p.islands) }
+
+// Island returns island i's engine.
+func (p *ParallelEngine) Island(i int) *Engine { return p.islands[i] }
+
+// SetLookaheadInto lower-bounds the timestamp gap of events arriving at
+// island i from other islands: every cross-island post must carry a
+// timestamp >= sender clock + d. Called by the topology layer with the
+// minimum propagation delay over links into i; d must be positive, or the
+// window containing the global minimum event could never execute.
+func (p *ParallelEngine) SetLookaheadInto(i int, d Duration) {
+	if d <= 0 {
+		panic("sim: lookahead into an island must be positive")
+	}
+	p.lookIn[i] = d
+}
+
+// LookaheadInto returns the configured lookahead into island i.
+func (p *ParallelEngine) LookaheadInto(i int) Duration { return p.lookIn[i] }
+
+// PostFrom schedules fn at absolute time at on island engine e, on behalf of
+// an event currently executing on island engine src of the same
+// ParallelEngine. It is the only Engine method that may be called from
+// another island's goroutine. The timestamp must respect the lookahead bound
+// registered for e's island.
+func (e *Engine) PostFrom(src *Engine, at Time, fn func()) {
+	if e == src {
+		src.ScheduleAt(at, fn)
+		return
+	}
+	p := e.par
+	if p == nil || src.par != p {
+		panic("sim: PostFrom across unrelated engines")
+	}
+	look := p.lookIn[e.island]
+	if look == InfLookahead {
+		panic(fmt.Sprintf("sim: post into island %d which declared no incoming links", e.island))
+	}
+	if at < src.now.Add(look) {
+		panic(fmt.Sprintf("sim: lookahead violation: post at %v from island %d (now %v) into island %d (lookahead %v)",
+			at, src.island, src.now, e.island, look))
+	}
+	if fn == nil {
+		panic("sim: nil event func")
+	}
+	ev := src.alloc()
+	ev.at = at
+	ev.birthAt = src.now
+	ev.birthIsland = src.island
+	ev.rank, ev.childIdx = src.nextChild()
+	ev.state = statePending
+	ev.fn = fn
+	e.mbox.mu.Lock()
+	e.mbox.evs = append(e.mbox.evs, ev)
+	e.mbox.mu.Unlock()
+}
+
+// drainMbox moves mailbox events into the heap. Only the island's own worker
+// calls it, at window boundaries.
+func (e *Engine) drainMbox() {
+	e.mbox.mu.Lock()
+	evs := e.mbox.evs
+	e.mbox.evs = e.drainScratch[:0]
+	e.mbox.mu.Unlock()
+	for i, ev := range evs {
+		if ev.at < e.now {
+			panic("sim: cross-island event arrived in the past (lookahead bound broken)")
+		}
+		heap.Push(&e.queue, ev)
+		evs[i] = nil
+	}
+	e.drainScratch = evs[:0]
+}
+
+// Run executes events until every island's queue and mailbox is empty or
+// Stop is called.
+func (p *ParallelEngine) Run() { p.run(maxTime) }
+
+// RunUntil executes events with time <= deadline, then advances every
+// island's clock to deadline.
+func (p *ParallelEngine) RunUntil(deadline Time) { p.run(deadline) }
+
+// RunFor executes events for d of virtual time from island 0's clock (all
+// island clocks agree after any RunUntil/RunFor).
+func (p *ParallelEngine) RunFor(d Duration) { p.RunUntil(p.islands[0].now.Add(d)) }
+
+// Now returns island 0's clock.
+func (p *ParallelEngine) Now() Time { return p.islands[0].now }
+
+// Pending reports the number of events waiting across all islands.
+func (p *ParallelEngine) Pending() int {
+	n := 0
+	for _, e := range p.islands {
+		n += e.Pending() + len(e.mbox.evs)
+	}
+	return n
+}
+
+// Executed sums executed-event counts across islands.
+func (p *ParallelEngine) Executed() uint64 {
+	var n uint64
+	for _, e := range p.islands {
+		n += e.Executed
+	}
+	return n
+}
+
+// Stop requests the current run to halt at the next window boundary.
+func (p *ParallelEngine) Stop() { p.stopReq.Store(true) }
+
+func (p *ParallelEngine) run(deadline Time) {
+	if p.running {
+		panic("sim: ParallelEngine re-entered while running")
+	}
+	p.running = true
+	defer func() { p.running = false }()
+	p.stopReq.Store(false)
+	p.stopSnap.Store(false)
+
+	var wg sync.WaitGroup
+	for i := 1; i < len(p.islands); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.worker(i, deadline)
+		}(i)
+	}
+	p.worker(0, deadline)
+	wg.Wait()
+}
+
+// worker is the per-island round loop. All workers execute the same control
+// flow and take exit decisions from identical published state, so they leave
+// the barrier protocol together.
+func (p *ParallelEngine) worker(i int, deadline Time) {
+	e := p.islands[i]
+	e.stopped = false
+	for {
+		// Window boundary: fold mailbox arrivals in, publish earliest event.
+		e.drainMbox()
+		min := maxTime
+		if len(e.queue) > 0 {
+			min = e.queue[0].at
+		}
+		p.mins[i].Store(int64(min))
+		if i == 0 {
+			p.stopSnap.Store(p.stopReq.Load())
+		}
+		p.barrier.wait()
+
+		// Every worker derives the same round decision.
+		t := maxTime
+		for j := range p.mins {
+			if m := Time(p.mins[j].Load()); m < t {
+				t = m
+			}
+		}
+		if p.stopSnap.Load() || t == maxTime || t > deadline {
+			break
+		}
+
+		// Safe horizon for this island: events strictly below T + lookahead.
+		w := maxTime
+		if look := p.lookIn[i]; look != InfLookahead && t <= maxTime.Add(-look) {
+			w = t.Add(look)
+		}
+		if deadline != maxTime && w > deadline+1 {
+			w = deadline + 1 // RunUntil is inclusive of the deadline itself
+		}
+		for !e.stopped && len(e.queue) > 0 && e.queue[0].at < w {
+			e.Step()
+		}
+		p.barrier.wait()
+	}
+	if deadline != maxTime && e.now < deadline {
+		e.now = deadline
+	}
+}

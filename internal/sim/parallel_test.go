@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestParallelPingPong bounces an event between two islands through the
+// mailbox path and checks both clocks and the executed count.
+func TestParallelPingPong(t *testing.T) {
+	const look = 100 * Nanosecond
+	p := NewParallelEngine(1, 2)
+	p.SetLookaheadInto(0, look)
+	p.SetLookaheadInto(1, look)
+	a, b := p.Island(0), p.Island(1)
+
+	var trace []string
+	hops := 0
+	var hop func(self, peer *Engine)
+	hop = func(self, peer *Engine) {
+		trace = append(trace, fmt.Sprintf("%d@%v", self.Island(), self.Now()))
+		hops++
+		if hops < 6 {
+			peer.PostFrom(self, self.Now().Add(look), func() { hop(peer, self) })
+		}
+	}
+	a.Schedule(10, func() { hop(a, b) })
+	p.Run()
+
+	want := []string{"0@10ns", "1@110ns", "0@210ns", "1@310ns", "0@410ns", "1@510ns"}
+	if fmt.Sprint(trace) != fmt.Sprint(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	if got := p.Executed(); got != 6 {
+		t.Fatalf("Executed = %d, want 6", got)
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("Pending = %d after Run", p.Pending())
+	}
+}
+
+// TestParallelRunUntilClamp checks that RunUntil executes deadline-inclusive
+// events, leaves later ones pending, and clamps every island clock.
+func TestParallelRunUntilClamp(t *testing.T) {
+	p := NewParallelEngine(7, 3)
+	for i := 0; i < 3; i++ {
+		p.SetLookaheadInto(i, 50*Nanosecond)
+	}
+	var ran []int
+	p.Island(1).ScheduleAt(100, func() { ran = append(ran, 1) })
+	p.Island(2).ScheduleAt(200, func() { ran = append(ran, 2) })
+	p.Island(0).ScheduleAt(300, func() { ran = append(ran, 0) })
+	p.RunUntil(200)
+	if fmt.Sprint(ran) != "[1 2]" {
+		t.Fatalf("ran = %v, want [1 2]", ran)
+	}
+	for i := 0; i < 3; i++ {
+		if now := p.Island(i).Now(); now != 200 {
+			t.Fatalf("island %d clock = %v, want 200ns", i, now)
+		}
+	}
+	if p.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", p.Pending())
+	}
+	p.Run()
+	if fmt.Sprint(ran) != "[1 2 0]" {
+		t.Fatalf("after drain ran = %v", ran)
+	}
+}
+
+// TestParallelStop stops the run from inside an island event; the run halts
+// at the next window boundary and later events stay pending.
+func TestParallelStop(t *testing.T) {
+	p := NewParallelEngine(3, 2)
+	p.SetLookaheadInto(0, 10*Nanosecond)
+	p.SetLookaheadInto(1, 10*Nanosecond)
+	fired := 0
+	p.Island(0).ScheduleAt(50, func() { fired++; p.Island(0).Stop() })
+	p.Island(1).ScheduleAt(5000, func() { fired++ })
+	p.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (stop should leave the far event pending)", fired)
+	}
+	if p.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", p.Pending())
+	}
+}
+
+// TestParallelLookaheadViolation ensures too-early cross-island posts panic
+// rather than silently corrupting causality.
+func TestParallelLookaheadViolation(t *testing.T) {
+	p := NewParallelEngine(1, 2)
+	p.SetLookaheadInto(0, 100*Nanosecond)
+	p.SetLookaheadInto(1, 100*Nanosecond)
+	a, b := p.Island(0), p.Island(1)
+	a.ScheduleAt(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected lookahead-violation panic")
+			}
+			a.Stop()
+		}()
+		b.PostFrom(a, a.Now().Add(99), func() {})
+	})
+	p.Run()
+}
+
+// TestParallelStreamsIndependentOfIsland verifies that a named substream
+// yields the same sequence wherever its consumer lives.
+func TestParallelStreamsIndependentOfIsland(t *testing.T) {
+	p := NewParallelEngine(42, 3)
+	seq := func(e *Engine) [4]int {
+		s := e.Stream("consumer:x")
+		var out [4]int
+		for i := range out {
+			out[i] = s.Intn(1 << 20)
+		}
+		return out
+	}
+	ref := seq(NewEngine(42))
+	for i := 0; i < 3; i++ {
+		if got := seq(p.Island(i)); got != ref {
+			t.Fatalf("island %d stream %v != standalone %v", i, got, ref)
+		}
+	}
+}
+
+// TestParallelDirectRunPanics: island engines must be driven through the
+// coordinator.
+func TestParallelDirectRunPanics(t *testing.T) {
+	p := NewParallelEngine(1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from direct Run on an island engine")
+		}
+	}()
+	p.Island(1).Run()
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// gates are skipped under -race because instrumentation allocates.
+const raceEnabled = true

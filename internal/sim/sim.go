@@ -1,16 +1,26 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
 // All components of the testbed (links, NICs, switches, traffic generators)
-// schedule work on a single Engine. Time is a virtual nanosecond clock; the
-// engine executes events in (time, sequence) order, so two runs with the same
-// seed replay identically. A single goroutine owns an Engine; none of the
-// methods are safe for concurrent use.
+// schedule work on an Engine. Time is a virtual nanosecond clock; the engine
+// executes events in (time, birth-time, causal-rank, child-index) order — the
+// tie-break is a pure function of each event's causal ancestry, so two runs
+// with the same seed replay identically and the replay is independent of how
+// the simulation is partitioned into islands. A single goroutine owns an
+// Engine; none of the methods are safe for concurrent use except PostFrom,
+// which is the cross-island mailbox path (see parallel.go).
+//
+// For parallel execution the engine generalizes to islands: a ParallelEngine
+// owns N Engines that advance on separate goroutines under conservative
+// lookahead synchronization. A standalone Engine built with NewEngine is
+// exactly the single-island special case and carries no synchronization
+// overhead.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -48,28 +58,76 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
+// Event lifecycle states. An event is pending while it sits in the queue and
+// transitions exactly once to fired or cancelled.
+const (
+	statePending uint8 = iota + 1
+	stateFired
+	stateCancelled
+)
+
 // Event is a scheduled callback. Callbacks run exactly once.
+//
+// Handle validity: popped and cancelled events are recycled through a
+// per-engine free list, so a retained *Event remains inspectable (Fired,
+// Cancelled) only until the engine reuses it for a later Schedule. The
+// supported pattern — clear the retained handle inside the callback or
+// immediately after Cancel — never observes a recycled event.
 type Event struct {
-	at    Time
-	seq   uint64
+	at      Time
+	birthAt Time // engine clock when the event was scheduled
+
+	// rank and childIdx are the causal tie-break: rank is a hash of the
+	// scheduling event's own rank and child index (a pure function of the
+	// event's causal ancestry, identical for every island layout), and
+	// childIdx counts the parent's children so siblings keep FIFO order.
+	rank     uint64
+	childIdx uint64
+
 	index int // heap index; -1 once popped or cancelled
-	fn    func()
+
+	// birthIsland is a last-resort tie-break, reachable only on a 64-bit
+	// rank collision at identical (at, birthAt).
+	birthIsland int32
+	state       uint8
+	fn          func()
 }
 
-// Cancelled reports whether the event was cancelled or has already fired.
-func (e *Event) Cancelled() bool { return e.index < 0 && e.fn == nil }
+// Cancelled reports whether the event was cancelled before firing. A fired
+// event reports false (earlier versions conflated the two states).
+func (e *Event) Cancelled() bool { return e.state == stateCancelled }
+
+// Fired reports whether the event's callback ran (true from the moment the
+// callback starts executing).
+func (e *Event) Fired() bool { return e.state == stateFired }
 
 // At returns the virtual time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
 
+// eventHeap orders events by (at, birthAt, rank, childIdx). Events of one
+// parent keep creation order (shared rank, rising childIdx — the classic
+// FIFO tie-break); events of different parents scheduled for the same
+// instant order by their parents' causal rank, which both the sequential
+// and every parallel execution compute identically. This is the
+// deterministic merge rule that keeps island runs byte-identical.
 type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	a, b := h[i], h[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	if a.birthAt != b.birthAt {
+		return a.birthAt < b.birthAt
+	}
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	if a.childIdx != b.childIdx {
+		return a.childIdx < b.childIdx
+	}
+	return a.birthIsland < b.birthIsland
 }
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
@@ -91,30 +149,116 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
-// Engine is the simulation core: a virtual clock plus an event queue.
+// Engine is the simulation core: a virtual clock plus an event queue. It is
+// either standalone (NewEngine) or one island of a ParallelEngine.
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
 	now     Time
-	seq     uint64
 	queue   eventHeap
 	rng     *rand.Rand
 	stopped bool
+
+	// Causal-rank state: execRank/execKids describe the currently executing
+	// event as a parent; rootKids counts events scheduled outside any event
+	// (setup code), which happens single-threaded even under a
+	// ParallelEngine, where the counter is shared via par.
+	executing bool
+	execRank  uint64
+	execKids  uint64
+	rootKids  uint64
+
+	// free recycles popped/cancelled events so the steady-state
+	// schedule→fire cycle performs no allocation.
+	free []*Event
+
+	// seed is the run seed; Stream substreams derive from it (never from the
+	// island), so a consumer's draws are independent of island layout.
+	seed    int64
+	streams map[string]*rand.Rand
+
+	// Island identity and parallel context; zero/nil for standalone engines.
+	island int32
+	par    *ParallelEngine
+
+	// mbox receives cross-island events; drained at window boundaries.
+	mbox struct {
+		mu  sync.Mutex
+		evs []*Event
+	}
+	drainScratch []*Event
 
 	// Executed counts events that have run, for diagnostics and tests.
 	Executed uint64
 }
 
-// NewEngine returns an engine whose clock reads zero and whose random source
-// is seeded with seed (deterministic across runs).
+// NewEngine returns a standalone engine whose clock reads zero and whose
+// random source is seeded with seed (deterministic across runs).
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
 // Rand returns the engine's seeded random source.
+//
+// Deprecated for model code: draws from this shared stream interleave in
+// global event order, which ties results to the island layout. Components
+// that consume randomness should derive a private substream with Stream;
+// gemlint's nodeterminism pass flags Rand use outside internal/sim.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Island returns the engine's island index (0 for standalone engines).
+func (e *Engine) Island() int { return int(e.island) }
+
+// splitmix64 is the SplitMix64 mixing function, used to derive independent
+// seeds from the run seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fnv64 is FNV-1a over s, for hashing stream names.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Stream returns the named random substream, created on first use. The
+// substream's seed depends only on the run seed and name — not on the island
+// the caller lives on or on any other consumer's draws — so per-consumer
+// streams make results independent of island partitioning. Names must be
+// unique per consumer across the whole run (e.g. "port:tor[3]").
+func (e *Engine) Stream(name string) *rand.Rand {
+	if r, ok := e.streams[name]; ok {
+		return r
+	}
+	if e.streams == nil {
+		e.streams = make(map[string]*rand.Rand)
+	}
+	r := rand.New(rand.NewSource(int64(splitmix64(uint64(e.seed) ^ fnv64(name)))))
+	e.streams[name] = r
+	return r
+}
+
+// alloc returns a recycled event if one is available, else a fresh one.
+// Free-listed events may have been born on any island; all fields are
+// rewritten by the scheduler.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
 
 // Schedule runs fn after delay. A negative delay is an error in the caller;
 // Schedule panics to surface it immediately.
@@ -134,28 +278,69 @@ func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
 	if fn == nil {
 		panic("sim: nil event func")
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
-	e.seq++
+	ev := e.alloc()
+	ev.at = at
+	ev.birthAt = e.now
+	ev.birthIsland = e.island
+	ev.rank, ev.childIdx = e.nextChild()
+	ev.state = statePending
+	ev.fn = fn
 	heap.Push(&e.queue, ev)
 	return ev
+}
+
+// rootRank seeds the causal rank of events scheduled outside any event.
+const rootRank = 0x8f1b5c0f2a6d3e47
+
+// nextChild returns the causal (rank, childIdx) for a newly scheduled event:
+// the executing event's rank and its next child slot, or the root rank and
+// the run-global root counter during setup.
+func (e *Engine) nextChild() (uint64, uint64) {
+	if e.executing {
+		idx := e.execKids
+		e.execKids++
+		return e.execRank, idx
+	}
+	if e.par != nil {
+		idx := e.par.rootKids
+		e.par.rootKids++
+		return rootRank, idx
+	}
+	idx := e.rootKids
+	e.rootKids++
+	return rootRank, idx
+}
+
+// parentRank derives the rank ev passes on to its own children.
+func parentRank(ev *Event) uint64 {
+	return splitmix64(ev.rank ^ (ev.childIdx+1)*0x9e3779b97f4a7c15)
 }
 
 // Cancel removes a pending event. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+	if ev == nil || ev.state != statePending {
 		return
 	}
 	heap.Remove(&e.queue, ev.index)
 	ev.fn = nil
-	ev.index = -1
+	ev.state = stateCancelled
+	e.free = append(e.free, ev)
 }
 
 // Pending reports the number of events waiting to run.
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // Stop makes the current Run/RunUntil call return after the current event.
-func (e *Engine) Stop() { e.stopped = true }
+// Under a ParallelEngine it requests a stop of the whole parallel run at the
+// next window boundary (the engine's own island stops after the current
+// event, exactly like the sequential case).
+func (e *Engine) Stop() {
+	e.stopped = true
+	if e.par != nil {
+		e.par.stopReq.Store(true)
+	}
+}
 
 // Step executes the single earliest pending event and returns true, or
 // returns false if the queue is empty.
@@ -170,13 +355,20 @@ func (e *Engine) Step() bool {
 	e.now = ev.at
 	fn := ev.fn
 	ev.fn = nil
+	ev.state = stateFired
+	e.executing = true
+	e.execRank = parentRank(ev)
+	e.execKids = 0
 	e.Executed++
 	fn()
+	e.executing = false
+	e.free = append(e.free, ev)
 	return true
 }
 
 // Run executes events until the queue is empty or Stop is called.
 func (e *Engine) Run() {
+	e.checkStandalone("Run")
 	e.stopped = false
 	for !e.stopped && e.Step() {
 	}
@@ -185,6 +377,7 @@ func (e *Engine) Run() {
 // RunUntil executes events with time <= deadline, then advances the clock to
 // deadline (even if the queue still holds later events).
 func (e *Engine) RunUntil(deadline Time) {
+	e.checkStandalone("RunUntil")
 	e.stopped = false
 	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
 		e.Step()
@@ -196,6 +389,14 @@ func (e *Engine) RunUntil(deadline Time) {
 
 // RunFor executes events for d of virtual time from now.
 func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// checkStandalone panics when an island engine is driven directly: islands
+// advance only through their ParallelEngine, which owns the synchronization.
+func (e *Engine) checkStandalone(method string) {
+	if e.par != nil {
+		panic("sim: " + method + " called on an island engine; drive the ParallelEngine instead")
+	}
+}
 
 // Ticker invokes fn every period until fn returns false or the engine stops.
 // The first invocation happens after one period.
